@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Client-level risk analysis: who gets infected, and why.
+
+Reproduces the paper's central client-level finding (Figs. 11 and 12): the
+benign clients whose local label distributions are closest to the attacker's
+auxiliary data are backdoored with near-certainty, while the population
+average hides them.
+
+Run with:  python examples/client_level_risk.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.client_level import client_cluster_analysis, label_similarity_analysis
+from repro.experiments.results import format_table
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        dataset="femnist",
+        num_clients=24,
+        samples_per_client=36,
+        num_classes=6,
+        image_size=16,
+        alpha=0.1,                 # very diverse local data
+        rounds=20,
+        sample_rate=0.3,
+        attack="collapois",
+        compromised_fraction=0.125,
+        trojan_epochs=12,
+        seed=7,
+    )
+
+    print("Running CollaPois and clustering benign clients by infection score ...")
+    analysis = client_cluster_analysis(config)
+    attack_sr = analysis["per_client_attack_success_rate"]
+    print(
+        f"\nPer-client Attack SR: min={attack_sr.min():.2f}  "
+        f"median={np.median(attack_sr):.2f}  max={attack_sr.max():.2f}  "
+        f"(population mean {attack_sr.mean():.2f})"
+    )
+    cluster_rows = [
+        {"cluster": name, **metrics} for name, metrics in analysis["cluster_metrics"].items()
+    ]
+    print("\nCluster-level view (Eq. 8 scores):")
+    print(format_table(cluster_rows))
+
+    print("\nWhy those clients? — similarity of label distributions to the attacker's data:")
+    rows = label_similarity_analysis(config)
+    print(format_table(rows))
+    print(
+        "\nReading: clusters with higher cosine similarity to the auxiliary data "
+        "Da (used to train the Trojaned model X) exhibit higher Attack SR — "
+        "clients that look like the attacker's data are the ones at risk."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Theorems 1–3 in practice: bounds on compromised clients, convergence, stealth.
+
+Walks through the paper's three theorems with executable numbers:
+
+1.  Theorem 1 — how many compromised clients are needed as a function of the
+    benign-gradient scatter (and therefore of the Dirichlet α).
+2.  Theorem 2 — the global model converges into a bounded region around the
+    Trojaned model X.
+3.  Theorem 3 — the server cannot estimate X accurately from the updates it
+    sees.
+
+Run with:  python examples/theory_bounds.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.theory import (
+    convergence_bound,
+    estimation_error_bounds,
+    expected_angle_statistics,
+    min_compromised_clients,
+)
+from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments.results import format_table
+from repro.nn.serialization import flatten_params
+
+
+def theorem_1() -> None:
+    print("Theorem 1 — minimum number of compromised clients (|N| = 1000, psi ~ U[0.9, 1])")
+    rows = []
+    for alpha in (0.01, 0.1, 1.0, 10.0, 100.0):
+        mu, sigma = expected_angle_statistics(alpha)
+        bound = min_compromised_clients(mu, sigma, num_clients=1000)
+        rows.append({"alpha": alpha, "mu_alpha": mu, "sigma": sigma,
+                     "min_compromised_clients": bound})
+    print(format_table(rows))
+    print("More diverse data (smaller alpha) -> fewer compromised clients needed.\n")
+
+
+def theorems_2_and_3() -> None:
+    config = ExperimentConfig(
+        dataset="femnist", num_clients=20, samples_per_client=32, num_classes=6,
+        image_size=16, alpha=0.2, rounds=16, sample_rate=0.35,
+        attack="collapois", compromised_fraction=0.15, trojan_epochs=12, seed=5,
+    )
+    print("Running a CollaPois experiment to evaluate Theorems 2 and 3 empirically ...")
+    result = run_experiment(config)
+    attack = result.extras["attack"]
+    server = result.extras["server"]
+
+    # Theorem 2: ||theta_T - X|| is bounded by (1/a - 1)||last malicious update|| + ||zeta||.
+    model = server._worker_model
+    last_update = attack.compute_update(
+        result.compromised_ids[0], server.global_params, config.rounds, model,
+        np.random.default_rng(0),
+    )
+    bound = convergence_bound(float(np.linalg.norm(last_update)), psi_low=config.psi_low,
+                              residual_norm=0.05)
+    realized = attack.distance_to_trojan(server.global_params)
+    initial_distance = attack.distance_to_trojan(flatten_params(server.model_factory()))
+    print(
+        f"\nTheorem 2 — ||theta_t − X||2 shrank from {initial_distance:.3f} (round 0) "
+        f"to {realized:.3f} (round {config.rounds});"
+    )
+    print(
+        f"            the converged-regime bound (1/a − 1)·||Δθ_c|| + ||ζ|| evaluates to {bound:.3f} — "
+        "the distance keeps contracting toward that region as training continues."
+    )
+
+    # Theorem 3: the server's estimation error of X is bounded away from zero.
+    malicious = np.stack([
+        attack.compute_update(c, server.global_params, config.rounds, model,
+                              np.random.default_rng(c))
+        for c in result.compromised_ids
+    ])
+    client_models = np.stack([server.personalized_params(c) for c in range(10)])
+    bounds = estimation_error_bounds(
+        malicious, client_models, attack.trojan_params,
+        precision=1.0, num_compromised=len(result.compromised_ids),
+    )
+    print(
+        "Theorem 3 — server estimation error of X: "
+        f"lower bound {bounds['lower_bound']:.3f}, realised {bounds['realized_error']:.3f}, "
+        f"upper bound {bounds['upper_bound']:.3f}"
+    )
+    print("\nEven with perfect detection precision the server cannot pin down X exactly,")
+    print("while the global model itself has converged into the low-loss region around X.")
+
+
+def main() -> None:
+    theorem_1()
+    theorems_2_and_3()
+
+
+if __name__ == "__main__":
+    main()

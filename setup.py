@@ -1,0 +1,10 @@
+"""Setuptools shim so `pip install -e .` works on environments without wheel.
+
+All project metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path (`--no-use-pep517`) on offline machines whose
+setuptools/wheel stack predates PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

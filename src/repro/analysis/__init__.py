@@ -1,0 +1,17 @@
+"""Statistical analysis used for the defense-bypass evaluation."""
+
+from repro.analysis.statistics import (
+    gradient_indistinguishability,
+    ks_test,
+    levene_test,
+    three_sigma_outliers,
+    two_sample_t_test,
+)
+
+__all__ = [
+    "two_sample_t_test",
+    "levene_test",
+    "ks_test",
+    "three_sigma_outliers",
+    "gradient_indistinguishability",
+]

@@ -1,0 +1,40 @@
+"""Backdoor attack implementations.
+
+This package contains the trigger library and the three baseline attacks the
+paper compares against:
+
+* **DPois** — classical data poisoning: compromised clients train on Trojaned
+  local datasets and submit the resulting gradients.
+* **MRepl** — model replacement: compromised clients scale their malicious
+  update so a single round (approximately) replaces the aggregated model with
+  the Trojaned model.
+* **DBA** — distributed backdoor attack: the global trigger is split into
+  sub-patterns, one per compromised client.
+
+The paper's own contribution, **CollaPois**, lives in :mod:`repro.core`.
+"""
+
+from repro.attacks.base import AttackContext, BackdoorAttack
+from repro.attacks.dba import DBAAttack
+from repro.attacks.dpois import DPoisAttack
+from repro.attacks.mrepl import MReplAttack
+from repro.attacks.triggers import (
+    PixelPatchTrigger,
+    TokenTrigger,
+    Trigger,
+    WarpingTrigger,
+    poison_dataset,
+)
+
+__all__ = [
+    "AttackContext",
+    "BackdoorAttack",
+    "DPoisAttack",
+    "MReplAttack",
+    "DBAAttack",
+    "Trigger",
+    "WarpingTrigger",
+    "PixelPatchTrigger",
+    "TokenTrigger",
+    "poison_dataset",
+]

@@ -1,0 +1,53 @@
+"""DPois: classical data-poisoning backdoor attack.
+
+Each compromised client trains its local model on a Trojaned version of its
+own dataset (clean samples plus triggered samples relabelled to the target
+class) and submits the resulting gradient — the approach of the classical
+poisoning literature the paper uses as its first baseline.  Because the local
+Trojaned models depend on each client's *own* (diverse) data, the malicious
+gradients scatter just like benign ones (Fig. 3b), which is exactly the
+weakness CollaPois removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack
+from repro.attacks.triggers import poison_dataset
+from repro.data.dataset import Dataset
+from repro.federated.client import local_train
+
+
+class DPoisAttack(BackdoorAttack):
+    """Data poisoning: train locally on clean ∪ Trojaned data."""
+
+    name = "dpois"
+
+    def __init__(self, poison_fraction: float = 0.5) -> None:
+        super().__init__()
+        if not 0.0 < poison_fraction <= 1.0:
+            raise ValueError("poison_fraction must be in (0, 1]")
+        self.poison_fraction = poison_fraction
+        self._poisoned_data: dict[int, Dataset] = {}
+
+    def setup(self, dataset, compromised_ids, model_factory, trigger, target_class,
+              local_config=None, seed=0) -> None:
+        super().setup(dataset, compromised_ids, model_factory, trigger, target_class,
+                      local_config, seed)
+        rng = np.random.default_rng(seed)
+        self._poisoned_data = {}
+        for client_id in compromised_ids:
+            clean = dataset.client(client_id).train
+            self._poisoned_data[client_id] = poison_dataset(
+                clean, trigger, target_class,
+                poison_fraction=self.poison_fraction, rng=rng, keep_clean=True,
+            )
+
+    def compute_update(self, client_id, global_params, round_idx, model, rng) -> np.ndarray:
+        context = self._require_context()
+        data = self._poisoned_data.get(client_id)
+        if data is None:
+            raise KeyError(f"client {client_id} is not a compromised client of this attack")
+        update, _ = local_train(model, global_params, data, context.local_config, rng)
+        return update

@@ -1,0 +1,90 @@
+"""MRepl: model-replacement backdoor attack.
+
+The attacker first trains a Trojaned model on the compromised clients'
+poisoned auxiliary data, then each compromised client submits a *scaled*
+update ``γ (X − θ_t)`` with a boost factor approximating ``|S_t|`` so that a
+single aggregation step (approximately) replaces the global model with the
+Trojaned one (Bagdasaryan et al., 2020).  The scaling causes the abrupt
+performance shift the paper highlights as MRepl's weakness (Fig. 13) and its
+large-magnitude updates are what norm-based defenses catch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack
+from repro.attacks.triggers import poison_dataset
+from repro.core.trojan import train_trojan_model
+
+
+class MReplAttack(BackdoorAttack):
+    """Model replacement with an explicit boost factor."""
+
+    name = "mrepl"
+
+    def __init__(
+        self,
+        boost_factor: float | None = None,
+        poison_fraction: float = 0.5,
+        trojan_epochs: int = 5,
+        attack_round: int = 0,
+        num_shots: int | None = 1,
+    ) -> None:
+        super().__init__()
+        if boost_factor is not None and boost_factor <= 0:
+            raise ValueError("boost_factor must be positive")
+        if attack_round < 0:
+            raise ValueError("attack_round must be non-negative")
+        if num_shots is not None and num_shots <= 0:
+            raise ValueError("num_shots must be positive or None")
+        self.boost_factor = boost_factor
+        self.poison_fraction = poison_fraction
+        self.trojan_epochs = trojan_epochs
+        self.attack_round = attack_round
+        # MRepl is characteristically a one-shot (or few-shot) replacement;
+        # ``num_shots=None`` re-attacks every round instead.
+        self.num_shots = num_shots
+        self.attacked_rounds: set[int] = set()
+        self.trojan_params: np.ndarray | None = None
+
+    def setup(self, dataset, compromised_ids, model_factory, trigger, target_class,
+              local_config=None, seed=0) -> None:
+        super().setup(dataset, compromised_ids, model_factory, trigger, target_class,
+                      local_config, seed)
+        context = self._require_context()
+        aux = dataset.auxiliary_dataset(compromised_ids, source="all")
+        poisoned = poison_dataset(
+            aux, trigger, target_class,
+            poison_fraction=self.poison_fraction,
+            rng=np.random.default_rng(seed), keep_clean=True,
+        )
+        self.trojan_params = train_trojan_model(
+            model_factory, poisoned,
+            epochs=self.trojan_epochs,
+            lr=context.local_config.lr,
+            batch_size=context.local_config.batch_size,
+            seed=seed,
+        )
+
+    def _effective_boost(self) -> float:
+        context = self._require_context()
+        if self.boost_factor is not None:
+            return self.boost_factor
+        # Default: assume the attacker knows (or estimates) the expected
+        # number of sampled clients and boosts by it, the classic MRepl rule.
+        expected_sampled = max(2.0, 0.2 * context.dataset.num_clients)
+        return expected_sampled / max(1, len(context.compromised_ids))
+
+    def compute_update(self, client_id, global_params, round_idx, model, rng) -> np.ndarray:
+        self._require_context()
+        if self.trojan_params is None:
+            raise RuntimeError("setup() did not train the Trojaned model")
+        if round_idx < self.attack_round:
+            return np.zeros_like(global_params)
+        if self.num_shots is not None and round_idx not in self.attacked_rounds:
+            if len(self.attacked_rounds) >= self.num_shots:
+                # The replacement budget is spent; behave innocuously.
+                return np.zeros_like(global_params)
+        self.attacked_rounds.add(round_idx)
+        return self._effective_boost() * (self.trojan_params - global_params)

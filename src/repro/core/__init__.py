@@ -1,0 +1,39 @@
+"""Core contribution of the paper: the CollaPois attack and its theory.
+
+* :mod:`repro.core.trojan` — centralised training of the Trojaned model X on
+  the attacker's poisoned auxiliary data (Eq. 1).
+* :mod:`repro.core.collapois` — the collaborative poisoning attack itself:
+  every compromised client submits ``Δθ = ψ (X − θ_t)`` with a dynamic
+  learning rate ψ ~ U[a, b] and optional clipping (Algorithm 1, Eq. 4).
+* :mod:`repro.core.stealth` — the stealth machinery: dynamic-learning-rate
+  calibration, gradient clipping, and blending diagnostics (Section IV-D).
+* :mod:`repro.core.theory` — Theorems 1–3: the lower bound on the number of
+  compromised clients, the convergence bound around X, and the server's
+  estimation-error bounds.
+"""
+
+from repro.core.collapois import CollaPoisAttack
+from repro.core.targeted import TargetedCollaPois
+from repro.core.stealth import StealthConfig, blend_statistics, clip_update
+from repro.core.theory import (
+    approximate_lower_bound,
+    compromised_fraction_surface,
+    convergence_bound,
+    estimation_error_bounds,
+    min_compromised_clients,
+)
+from repro.core.trojan import train_trojan_model
+
+__all__ = [
+    "CollaPoisAttack",
+    "TargetedCollaPois",
+    "train_trojan_model",
+    "StealthConfig",
+    "clip_update",
+    "blend_statistics",
+    "min_compromised_clients",
+    "approximate_lower_bound",
+    "compromised_fraction_surface",
+    "convergence_bound",
+    "estimation_error_bounds",
+]

@@ -1,0 +1,118 @@
+"""CollaPois: the collaborative backdoor poisoning attack (Algorithm 1).
+
+The attacker trains a single Trojaned model X on poisoned auxiliary data and
+distributes it to the compromised clients.  In every round each sampled
+compromised client submits the malicious update
+
+    Δθ_c^t = ψ_c^t (X − θ_t),        ψ_c^t ~ U[a, b],
+
+optionally clipped to a shared bound A and upscaled to a minimum norm τ.  The
+aligned malicious updates reinforce one another across rounds while benign
+updates scatter (the more so the more non-IID the data is), steering the
+global model into the low-loss region around X.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.base import BackdoorAttack
+from repro.attacks.triggers import poison_dataset
+from repro.core.stealth import StealthConfig, clip_update, upscale_update
+from repro.core.trojan import train_trojan_model
+
+
+class CollaPoisAttack(BackdoorAttack):
+    """Collaborative poisoning toward a shared Trojaned model X."""
+
+    name = "collapois"
+
+    def __init__(
+        self,
+        stealth: StealthConfig | None = None,
+        poison_fraction: float = 0.5,
+        trojan_epochs: int = 10,
+        trojan_lr: float = 0.05,
+        warm_start_from_global: bool = True,
+        aux_source: str = "all",
+    ) -> None:
+        super().__init__()
+        if not 0.0 < poison_fraction <= 1.0:
+            raise ValueError("poison_fraction must be in (0, 1]")
+        if trojan_epochs <= 0:
+            raise ValueError("trojan_epochs must be positive")
+        if aux_source not in {"val", "train", "all"}:
+            raise ValueError("aux_source must be 'val', 'train' or 'all'")
+        self.stealth = stealth or StealthConfig()
+        self.poison_fraction = poison_fraction
+        self.trojan_epochs = trojan_epochs
+        self.trojan_lr = trojan_lr
+        self.warm_start_from_global = warm_start_from_global
+        self.aux_source = aux_source
+        self.trojan_params: np.ndarray | None = None
+        self.psi_history: list[tuple[int, int, float]] = []
+
+    def setup(self, dataset, compromised_ids, model_factory, trigger, target_class,
+              local_config=None, seed=0, init_params: np.ndarray | None = None) -> None:
+        """Train the Trojaned model X from the pooled auxiliary data (Eq. 1)."""
+        super().setup(dataset, compromised_ids, model_factory, trigger, target_class,
+                      local_config, seed)
+        context = self._require_context()
+        aux = dataset.auxiliary_dataset(compromised_ids, source=self.aux_source)
+        poisoned = poison_dataset(
+            aux, trigger, target_class,
+            poison_fraction=self.poison_fraction,
+            rng=np.random.default_rng(seed),
+            keep_clean=True,
+        )
+        self.trojan_params = train_trojan_model(
+            model_factory,
+            poisoned,
+            epochs=self.trojan_epochs,
+            lr=self.trojan_lr,
+            batch_size=context.local_config.batch_size,
+            seed=seed,
+            init_params=init_params if self.warm_start_from_global else None,
+        )
+        self.psi_history = []
+
+    def compute_update(self, client_id, global_params, round_idx, model, rng) -> np.ndarray:
+        """Malicious update Δθ = ψ (X − θ_t) with stealth post-processing (Eq. 4)."""
+        self._require_context()
+        if self.trojan_params is None:
+            raise RuntimeError("setup() did not train the Trojaned model")
+        psi = self.stealth.sample_psi(rng)
+        self.psi_history.append((round_idx, client_id, psi))
+        update = psi * (self.trojan_params - global_params)
+        if self.stealth.clip_bound is not None:
+            update = clip_update(update, self.stealth.clip_bound)
+        if self.stealth.min_update_norm is not None:
+            update = upscale_update(update, self.stealth.min_update_norm)
+        return update
+
+    def distance_to_trojan(self, global_params: np.ndarray) -> float:
+        """Current l2 distance ‖θ_t − X‖₂ (the quantity bounded by Theorem 2)."""
+        if self.trojan_params is None:
+            raise RuntimeError("setup() did not train the Trojaned model")
+        return float(np.linalg.norm(global_params - self.trojan_params))
+
+    def surrogate_loss(
+        self,
+        global_params: np.ndarray,
+        benign_personal_params: np.ndarray | None = None,
+    ) -> float:
+        """The Trojaned surrogate loss of Eq. 3.
+
+        ``½ (Σ_c ‖X − θ‖² + Σ_i ‖θ_i − θ‖²)`` — the first term for the
+        compromised clients, the second (optional) term for the benign
+        clients' personalised models.
+        """
+        context = self._require_context()
+        if self.trojan_params is None:
+            raise RuntimeError("setup() did not train the Trojaned model")
+        num_compromised = len(context.compromised_ids)
+        loss = num_compromised * float(np.sum((self.trojan_params - global_params) ** 2))
+        if benign_personal_params is not None:
+            diffs = np.atleast_2d(benign_personal_params) - global_params
+            loss += float(np.sum(diffs**2))
+        return 0.5 * loss

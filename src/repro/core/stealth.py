@@ -1,0 +1,115 @@
+"""Stealth machinery of CollaPois (Section IV-D of the paper).
+
+Three mechanisms keep the malicious updates indistinguishable from benign
+ones:
+
+* the **dynamic learning rate** ψ_c^t ~ U[a, b], sampled privately by each
+  compromised client every round, prevents the server from reconstructing X
+  from any single update;
+* **clipping** to a shared bound A keeps malicious update magnitudes inside
+  the range of benign update magnitudes;
+* **blending diagnostics** measure the angle/magnitude statistics of
+  malicious vs. benign updates against a set of sampled (clean) gradients so
+  the attacker can pick U[a, b] and A that pass the server's statistical
+  tests (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.metrics.gradients import pairwise_angles
+
+
+@dataclass
+class StealthConfig:
+    """Stealth-related knobs of CollaPois."""
+
+    psi_low: float = 0.9
+    psi_high: float = 1.0
+    clip_bound: float | None = None
+    min_update_norm: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.psi_low < self.psi_high <= 1.0:
+            raise ValueError("require 0 < a < b <= 1 for psi ~ U[a, b]")
+        if self.clip_bound is not None and self.clip_bound <= 0:
+            raise ValueError("clip_bound must be positive")
+        if self.min_update_norm is not None and self.min_update_norm <= 0:
+            raise ValueError("min_update_norm must be positive")
+
+    def sample_psi(self, rng: np.random.Generator) -> float:
+        """Draw the round's dynamic learning rate ψ ~ U[a, b]."""
+        return float(rng.uniform(self.psi_low, self.psi_high))
+
+
+def clip_update(update: np.ndarray, bound: float) -> np.ndarray:
+    """Scale an update down so its l2 norm does not exceed ``bound``."""
+    if bound <= 0:
+        raise ValueError("bound must be positive")
+    norm = float(np.linalg.norm(update))
+    if norm <= bound or norm == 0.0:
+        return update
+    return update * (bound / norm)
+
+
+def upscale_update(update: np.ndarray, min_norm: float) -> np.ndarray:
+    """Scale an update up to at least ``min_norm`` (the τ rescaling of Thm. 3).
+
+    Theorem 3 observes that a vanishingly small malicious update lets the
+    server estimate X accurately; uniformly upscaling its norm to a small
+    constant τ enlarges the estimation-error lower bound without affecting
+    utility or attack success.
+    """
+    if min_norm <= 0:
+        raise ValueError("min_norm must be positive")
+    norm = float(np.linalg.norm(update))
+    if norm >= min_norm or norm == 0.0:
+        return update
+    return update * (min_norm / norm)
+
+
+def blend_statistics(
+    malicious_updates: np.ndarray,
+    benign_updates: np.ndarray,
+    reference_updates: np.ndarray | None = None,
+) -> dict[str, float]:
+    """Angle/magnitude statistics comparing malicious and benign updates.
+
+    Returns the mean and standard deviation of the angles each group forms
+    with the reference gradients (benign updates by default), plus the mean
+    l2 magnitudes — the quantities the attacker matches to blend in (Fig. 6)
+    and the server's statistical detector inspects.
+    """
+    malicious_updates = np.atleast_2d(malicious_updates)
+    benign_updates = np.atleast_2d(benign_updates)
+    reference = benign_updates if reference_updates is None else np.atleast_2d(reference_updates)
+
+    def _angles_to_reference(group: np.ndarray) -> np.ndarray:
+        angles = []
+        for row in group:
+            for ref in reference:
+                angles.append(_angle(row, ref))
+        return np.asarray(angles)
+
+    mal_angles = _angles_to_reference(malicious_updates)
+    ben_angles = pairwise_angles(benign_updates) if len(benign_updates) > 1 else _angles_to_reference(benign_updates)
+    return {
+        "malicious_angle_mean": float(np.mean(mal_angles)) if mal_angles.size else 0.0,
+        "malicious_angle_std": float(np.std(mal_angles)) if mal_angles.size else 0.0,
+        "benign_angle_mean": float(np.mean(ben_angles)) if ben_angles.size else 0.0,
+        "benign_angle_std": float(np.std(ben_angles)) if ben_angles.size else 0.0,
+        "malicious_norm_mean": float(np.mean(np.linalg.norm(malicious_updates, axis=1))),
+        "benign_norm_mean": float(np.mean(np.linalg.norm(benign_updates, axis=1))),
+    }
+
+
+def _angle(u: np.ndarray, v: np.ndarray) -> float:
+    """Angle in radians between two vectors (0 when either is zero)."""
+    nu, nv = np.linalg.norm(u), np.linalg.norm(v)
+    if nu == 0.0 or nv == 0.0:
+        return 0.0
+    cosine = float(np.clip(np.dot(u, v) / (nu * nv), -1.0, 1.0))
+    return float(np.arccos(cosine))

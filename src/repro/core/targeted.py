@@ -1,0 +1,126 @@
+"""Targeted CollaPois — the Section-VI "attack perspective" extension.
+
+The paper's discussion sketches an escalated threat: instead of poisoning the
+whole federation from round 1, the attacker (1) stays dormant for a warm-up
+period, using the observed global models to build a "semi-ready" Trojaned
+model that is already close to the federation's benign optimum, and
+(2) activates only when the federation state suggests the *high-value* benign
+clients — those whose data the attacker cares about, approximated through the
+auxiliary data — are being served well, minimising the attacker's exposure.
+
+This module implements that variant on top of :class:`CollaPoisAttack`:
+
+* ``warmup_rounds`` — rounds during which compromised clients behave benignly
+  (they submit honest local updates, making them indistinguishable from any
+  other client).
+* ``refresh_trojan`` — at activation time the Trojaned model X is re-trained
+  *starting from the current global model* (the "semi-ready" model), so the
+  malicious pull is small in norm and the backdoor integrates with whatever
+  the federation has already learned.
+* ``high_value_fraction`` — the attacker's success criterion is evaluated on
+  the benign clients most similar to the auxiliary data (Eq. 9 similarity),
+  mirroring the "target high-value clients only" goal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.collapois import CollaPoisAttack
+from repro.core.trojan import train_trojan_model
+from repro.attacks.triggers import poison_dataset
+from repro.federated.client import local_train
+from repro.metrics.similarity import cumulative_label_cosine
+
+
+class TargetedCollaPois(CollaPoisAttack):
+    """CollaPois with a dormant warm-up phase and a semi-ready Trojaned model."""
+
+    name = "targeted-collapois"
+
+    def __init__(
+        self,
+        warmup_rounds: int = 3,
+        refresh_trojan: bool = True,
+        high_value_fraction: float = 0.25,
+        **kwargs,
+    ) -> None:
+        super().__init__(**kwargs)
+        if warmup_rounds < 0:
+            raise ValueError("warmup_rounds must be non-negative")
+        if not 0.0 < high_value_fraction <= 1.0:
+            raise ValueError("high_value_fraction must be in (0, 1]")
+        self.warmup_rounds = warmup_rounds
+        self.refresh_trojan = refresh_trojan
+        self.high_value_fraction = high_value_fraction
+        self.activated_round: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Target selection                                                    #
+    # ------------------------------------------------------------------ #
+    def high_value_clients(self) -> list[int]:
+        """Benign clients whose label distributions best match the auxiliary data.
+
+        The attacker only observes its own auxiliary data; the similarity is
+        computed against each benign client's label counts, which in a real
+        deployment the attacker would approximate from interaction patterns.
+        The returned ids are the attack's *measurement targets*: the clients
+        whose infection the attacker actually cares about.
+        """
+        context = self._require_context()
+        dataset = context.dataset
+        compromised = set(context.compromised_ids)
+        aux_counts = dataset.auxiliary_class_counts(context.compromised_ids, source=self.aux_source)
+        benign = [c for c in range(dataset.num_clients) if c not in compromised]
+        similarities = [
+            (cumulative_label_cosine(dataset.client(c).class_counts, aux_counts), c)
+            for c in benign
+        ]
+        similarities.sort(reverse=True)
+        count = max(1, int(round(self.high_value_fraction * len(benign))))
+        return sorted(client_id for _, client_id in similarities[:count])
+
+    # ------------------------------------------------------------------ #
+    # Dormant phase and activation                                        #
+    # ------------------------------------------------------------------ #
+    def _activate(self, global_params: np.ndarray, round_idx: int) -> None:
+        """Re-train the semi-ready Trojaned model from the current global model."""
+        context = self._require_context()
+        aux = context.dataset.auxiliary_dataset(context.compromised_ids, source=self.aux_source)
+        poisoned = poison_dataset(
+            aux,
+            context.trigger,
+            context.target_class,
+            poison_fraction=self.poison_fraction,
+            rng=np.random.default_rng(context.seed + round_idx),
+            keep_clean=True,
+        )
+        self.trojan_params = train_trojan_model(
+            self.model_factory,
+            poisoned,
+            epochs=self.trojan_epochs,
+            lr=self.trojan_lr,
+            batch_size=context.local_config.batch_size,
+            seed=context.seed + round_idx,
+            init_params=global_params,
+        )
+        self.activated_round = round_idx
+
+    def compute_update(self, client_id, global_params, round_idx, model, rng) -> np.ndarray:
+        context = self._require_context()
+        if round_idx < self.warmup_rounds:
+            # Dormant: behave exactly like a benign client so that pre-attack
+            # screening cannot tell the compromised clients apart.
+            update, _ = local_train(
+                model,
+                global_params,
+                context.dataset.client(client_id).train,
+                context.local_config,
+                rng,
+            )
+            return update
+        if self.refresh_trojan and (
+            self.activated_round is None or self.activated_round < self.warmup_rounds
+        ):
+            self._activate(global_params, round_idx)
+        return super().compute_update(client_id, global_params, round_idx, model, rng)

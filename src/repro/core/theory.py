@@ -1,0 +1,226 @@
+"""Theoretical results of the paper (Theorems 1–3) as executable functions.
+
+* **Theorem 1** — lower bound on the number of compromised clients |C| needed
+  for a successful poisoning round, as a function of the angle statistics
+  (µ_α, σ) of benign gradients relative to the aggregated malicious gradient
+  and the dynamic-learning-rate range [a, b]:
+
+      |C| ≥ (2 − σ² − µ_α²) / (a + b + 2 − σ² − µ_α²) · |N|
+
+* **Theorem 2** — convergence bound on the distance between the global model
+  and the Trojaned model X:
+
+      ‖θ_t − X‖₂ ≤ (1/a − 1) ‖Δθ_c^{t'}‖₂ + ‖ζ‖₂
+
+* **Theorem 3** — bounds on the server's estimation error of X when it
+  identifies compromised clients with precision p.
+
+The empirical companions (Fig. 4 approximation error, Fig. 5 bound surface)
+are also provided here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def min_compromised_clients(
+    mu_alpha: float,
+    sigma: float,
+    num_clients: int,
+    psi_low: float = 0.9,
+    psi_high: float = 1.0,
+) -> float:
+    """Theorem 1: minimum |C| for a successful poisoning round (worst case).
+
+    Parameters
+    ----------
+    mu_alpha:
+        Mean of the angle β_i (radians) between a benign client's gradient
+        and the aggregated malicious gradient; grows as local data becomes
+        more diverse (smaller Dirichlet α).
+    sigma:
+        Standard deviation of β_i.
+    num_clients:
+        Total number of clients |N|.
+    psi_low, psi_high:
+        The dynamic-learning-rate range [a, b] of Eq. 4.
+
+    Returns
+    -------
+    float
+        The lower bound on |C| (not rounded; callers may take ``ceil``).
+        Larger µ_α / σ (more scattered benign gradients) shrink the bound.
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if not 0.0 < psi_low < psi_high <= 1.0:
+        raise ValueError("require 0 < a < b <= 1")
+    if mu_alpha < 0 or sigma < 0:
+        raise ValueError("angle statistics must be non-negative")
+    numerator = 2.0 - sigma**2 - mu_alpha**2
+    numerator = max(numerator, 0.0)
+    denominator = psi_low + psi_high + numerator
+    return numerator / denominator * num_clients
+
+
+def compromised_fraction_surface(
+    mu_values: np.ndarray,
+    sigma_values: np.ndarray,
+    psi_low: float = 0.9,
+    psi_high: float = 1.0,
+) -> np.ndarray:
+    """Fig. 5: the |C|/|N| lower-bound surface over a (µ_α, σ) grid.
+
+    Returns an array of shape ``(len(sigma_values), len(mu_values))`` whose
+    entry [j, i] is the bound at (µ_values[i], σ_values[j]).
+    """
+    mu_values = np.asarray(mu_values, dtype=np.float64)
+    sigma_values = np.asarray(sigma_values, dtype=np.float64)
+    surface = np.empty((sigma_values.size, mu_values.size), dtype=np.float64)
+    for j, sigma in enumerate(sigma_values):
+        for i, mu in enumerate(mu_values):
+            surface[j, i] = min_compromised_clients(mu, sigma, 1, psi_low, psi_high)
+    return surface
+
+
+def exact_lower_bound_from_angles(
+    angles: np.ndarray,
+    num_clients: int,
+    psi_low: float = 0.9,
+    psi_high: float = 1.0,
+) -> float:
+    """The data-dependent bound of Eq. 14 before the expectation approximation.
+
+    Uses the observed per-client angles β_i directly:
+        |C| (a+b)/2 ≥ (|N| − |C|) − Σ β_i² / 2
+    solved for |C| with Σ β_i² evaluated on the sample.
+    """
+    angles = np.asarray(angles, dtype=np.float64)
+    if angles.ndim != 1 or angles.size == 0:
+        raise ValueError("angles must be a non-empty 1-D array")
+    mean_sq = float(np.mean(angles**2))
+    numerator = max(2.0 - mean_sq, 0.0)
+    denominator = psi_low + psi_high + numerator
+    return numerator / denominator * num_clients
+
+
+def approximate_lower_bound(
+    angles: np.ndarray,
+    num_clients: int,
+    psi_low: float = 0.9,
+    psi_high: float = 1.0,
+) -> dict[str, float]:
+    """Fig. 4: the Theorem-1 bound and its relative approximation error.
+
+    The theorem approximates Σψ_c with |C|(a+b)/2 and Σβ_i² with its
+    expectation (|N|−|C|)(σ²+µ_α²).  This helper computes both the
+    approximate bound (from the sample mean/std of ``angles``) and the exact
+    data-dependent bound, returning the relative error |Ĉ − C| / C.
+    """
+    angles = np.asarray(angles, dtype=np.float64)
+    mu = float(np.mean(angles))
+    sigma = float(np.std(angles))
+    approx = min_compromised_clients(mu, sigma, num_clients, psi_low, psi_high)
+    exact = exact_lower_bound_from_angles(angles, num_clients, psi_low, psi_high)
+    rel_error = abs(approx - exact) / exact if exact > 0 else 0.0
+    return {
+        "approximate_bound": approx,
+        "exact_bound": exact,
+        "relative_error": rel_error,
+        "mu_alpha": mu,
+        "sigma": sigma,
+    }
+
+
+def convergence_bound(
+    last_malicious_update_norm: float,
+    psi_low: float,
+    residual_norm: float = 0.0,
+) -> float:
+    """Theorem 2: upper bound on ‖θ_t − X‖₂.
+
+    ``(1/a − 1) ‖Δθ_c^{t'}‖₂ + ‖ζ‖₂`` where ``t'`` is the last round the
+    compromised client participated in and ζ is a small error term.
+    """
+    if not 0.0 < psi_low <= 1.0:
+        raise ValueError("psi_low must be in (0, 1]")
+    if last_malicious_update_norm < 0 or residual_norm < 0:
+        raise ValueError("norms must be non-negative")
+    return (1.0 / psi_low - 1.0) * last_malicious_update_norm + residual_norm
+
+
+def estimation_error_bounds(
+    malicious_updates: np.ndarray,
+    client_params: np.ndarray,
+    trojan_params: np.ndarray,
+    precision: float,
+    num_compromised: int,
+    psi_high: float = 1.0,
+) -> dict[str, float]:
+    """Theorem 3: bounds on the server's estimation error of X.
+
+    Parameters
+    ----------
+    malicious_updates:
+        ``(k, dim)`` matrix of the malicious updates Δθ_c the server observed
+        from the correctly identified compromised clients (the set C̄).
+    client_params:
+        ``(m, dim)`` matrix of candidate client model parameters θ_i the
+        server could average when guessing X (used for the upper bound).
+    trojan_params:
+        The true Trojaned model X (for reporting the realised error only).
+    precision:
+        Detection precision p ∈ (0, 1].
+    num_compromised:
+        |C|, the true number of compromised clients.
+    psi_high:
+        Upper end b of the dynamic-learning-rate range.
+
+    Returns
+    -------
+    dict with ``lower_bound``, ``upper_bound`` and ``realized_error`` — the
+    error the naive estimator X' (mean of suspected clients' models) makes.
+    """
+    if not 0.0 < precision <= 1.0:
+        raise ValueError("precision must be in (0, 1]")
+    if num_compromised <= 0:
+        raise ValueError("num_compromised must be positive")
+    malicious_updates = np.atleast_2d(malicious_updates)
+    client_params = np.atleast_2d(client_params)
+    lower = float(
+        np.linalg.norm(malicious_updates.sum(axis=0) / (precision * num_compromised * psi_high))
+    )
+    # Upper bound: the worst estimator averages the |C| client models whose
+    # mean is farthest from X.
+    upper = 0.0
+    num_candidates = client_params.shape[0]
+    subset_size = min(num_compromised, num_candidates)
+    distances = np.linalg.norm(client_params - trojan_params, axis=1)
+    worst = np.argsort(distances)[::-1][:subset_size]
+    upper = float(np.linalg.norm(client_params[worst].mean(axis=0) - trojan_params))
+    realized = float(np.linalg.norm(client_params.mean(axis=0) - trojan_params))
+    return {"lower_bound": lower, "upper_bound": upper, "realized_error": realized}
+
+
+def expected_angle_statistics(
+    alpha: float,
+    base_mean: float = 0.35,
+    base_std: float = 0.08,
+    spread: float = 0.55,
+) -> tuple[float, float]:
+    """Analytic model of how (µ_α, σ) grow as the Dirichlet α shrinks.
+
+    The paper measures µ_α and σ empirically (Fig. 3); for closed-form
+    sweeps (Fig. 5, theory examples) we use a smooth monotone model:
+    both statistics increase logarithmically as α decreases, saturating at
+    the extremes of the paper's range α ∈ [0.01, 100].
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    log_alpha = np.clip(np.log10(alpha), -2.0, 2.0)
+    # Map log10(alpha) in [-2, 2] onto [1, 0]: 1 = most diverse.
+    diversity = (2.0 - log_alpha) / 4.0
+    mu = base_mean + spread * diversity
+    sigma = base_std + 0.3 * spread * diversity
+    return float(mu), float(sigma)

@@ -1,0 +1,94 @@
+"""Synthetic Sentiment140-like text-feature data.
+
+The paper's Sentiment task runs a frozen BERT tokenizer/encoder and trains
+only a small fully connected head on the resulting features.  Reproducing
+this offline requires neither BERT nor tweets: what the federated/backdoor
+dynamics see is a *fixed feature vector per sample* with class structure.
+
+This generator produces exactly that: each sample is a mean-pooled bag of
+token embeddings, where token frequencies are class-conditional (positive and
+negative "vocabulary" clusters) and the embedding table is a frozen random
+projection.  A text Trojan (fixed trigger term, as in the paper's reference
+[36]) corresponds to adding the trigger token's embedding to the pooled
+feature — implemented by :class:`repro.attacks.triggers.TokenTrigger`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+class SyntheticSentiment:
+    """Generator of class-conditional bag-of-embedding text features."""
+
+    def __init__(
+        self,
+        num_classes: int = 2,
+        vocab_size: int = 200,
+        embedding_dim: int = 32,
+        tokens_per_sample: int = 12,
+        class_sharpness: float = 3.0,
+        noise_std: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if num_classes < 2:
+            raise ValueError("need at least two classes")
+        if vocab_size < num_classes * 4:
+            raise ValueError("vocab_size too small for the number of classes")
+        self.num_classes = num_classes
+        self.vocab_size = vocab_size
+        self.embedding_dim = embedding_dim
+        self.tokens_per_sample = tokens_per_sample
+        self.noise_std = noise_std
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        # Frozen "pre-trained" embedding table (the BERT stand-in).
+        self.embeddings = rng.normal(0.0, 1.0, size=(vocab_size, embedding_dim))
+        # Class-conditional token distributions: each class prefers a
+        # distinct slice of the vocabulary, with peakedness set by
+        # class_sharpness.
+        logits = rng.normal(0.0, 1.0, size=(num_classes, vocab_size))
+        slice_size = vocab_size // num_classes
+        for cls in range(num_classes):
+            logits[cls, cls * slice_size : (cls + 1) * slice_size] += class_sharpness
+        exp = np.exp(logits - logits.max(axis=1, keepdims=True))
+        self.token_probs = exp / exp.sum(axis=1, keepdims=True)
+        # Reserve the last vocabulary index as the backdoor trigger token.
+        self.trigger_token = vocab_size - 1
+
+    def embed_tokens(self, tokens: np.ndarray) -> np.ndarray:
+        """Mean-pool the embeddings of a token-id sequence."""
+        return self.embeddings[np.asarray(tokens, dtype=np.int64)].mean(axis=0)
+
+    def trigger_embedding(self) -> np.ndarray:
+        """Embedding contribution of the fixed trigger term."""
+        return self.embeddings[self.trigger_token] / self.tokens_per_sample
+
+    def sample_client(self, class_counts: np.ndarray, client_seed: int) -> Dataset:
+        """Generate one client's dataset from a per-class count vector."""
+        class_counts = np.asarray(class_counts, dtype=np.int64)
+        if class_counts.shape != (self.num_classes,):
+            raise ValueError("class_counts must have one entry per class")
+        rng = np.random.default_rng(client_seed)
+        features: list[np.ndarray] = []
+        labels: list[int] = []
+        for cls, count in enumerate(class_counts):
+            for _ in range(int(count)):
+                tokens = rng.choice(self.vocab_size, size=self.tokens_per_sample,
+                                    p=self.token_probs[cls])
+                feat = self.embed_tokens(tokens)
+                feat = feat + rng.normal(0.0, self.noise_std, size=feat.shape)
+                features.append(feat)
+                labels.append(cls)
+        if not features:
+            return Dataset(np.zeros((0, self.embedding_dim)), np.zeros(0, dtype=np.int64))
+        return Dataset(np.stack(features), np.asarray(labels, dtype=np.int64))
+
+    def sample_iid(self, num_samples: int, seed: int = 12345) -> Dataset:
+        """Generate an IID dataset — used for global test sets."""
+        rng = np.random.default_rng(seed)
+        counts = np.bincount(rng.integers(0, self.num_classes, size=num_samples),
+                             minlength=self.num_classes)
+        return self.sample_client(counts, client_seed=seed)

@@ -1,0 +1,56 @@
+"""Robust-aggregation defenses against backdoor poisoning.
+
+Each defense implements the :class:`~repro.defenses.base.Aggregator`
+interface: given the stack of client updates collected in a round it returns
+the aggregated update the server applies.  The catalogue mirrors Table I of
+the paper:
+
+=====================  =====================================================
+Defense                Module
+=====================  =====================================================
+FedAvg mean            :class:`~repro.defenses.base.MeanAggregator`
+Krum / Multi-Krum      :class:`~repro.defenses.krum.Krum`
+Coordinate-wise median :class:`~repro.defenses.median.CoordinateMedian`
+Trimmed mean           :class:`~repro.defenses.trimmed_mean.TrimmedMean`
+Norm bounding          :class:`~repro.defenses.norm_bound.NormBound`
+DP-optimizer           :class:`~repro.defenses.dp.DPAggregator`
+Robust learning rate   :class:`~repro.defenses.rlr.RobustLearningRate`
+SignSGD majority vote  :class:`~repro.defenses.signsgd.SignSGDAggregator`
+FLARE trust scores     :class:`~repro.defenses.flare.FLARE`
+CRFL clip + smooth     :class:`~repro.defenses.crfl.CRFL`
+Ditto personalisation  :class:`~repro.defenses.ditto.DittoPersonalizer`
+MESAS-style detector   :class:`~repro.defenses.detector.StatisticalDetector`
+=====================  =====================================================
+"""
+
+from repro.defenses.base import Aggregator, MeanAggregator
+from repro.defenses.crfl import CRFL
+from repro.defenses.detector import StatisticalDetector
+from repro.defenses.ditto import DittoPersonalizer
+from repro.defenses.dp import DPAggregator
+from repro.defenses.flare import FLARE
+from repro.defenses.krum import Krum
+from repro.defenses.median import CoordinateMedian
+from repro.defenses.norm_bound import NormBound
+from repro.defenses.registry import available_defenses, make_defense
+from repro.defenses.rlr import RobustLearningRate
+from repro.defenses.signsgd import SignSGDAggregator
+from repro.defenses.trimmed_mean import TrimmedMean
+
+__all__ = [
+    "Aggregator",
+    "MeanAggregator",
+    "Krum",
+    "CoordinateMedian",
+    "TrimmedMean",
+    "NormBound",
+    "DPAggregator",
+    "RobustLearningRate",
+    "SignSGDAggregator",
+    "FLARE",
+    "CRFL",
+    "DittoPersonalizer",
+    "StatisticalDetector",
+    "available_defenses",
+    "make_defense",
+]

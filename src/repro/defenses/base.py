@@ -1,0 +1,52 @@
+"""Aggregator interface shared by every robust-aggregation defense."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Aggregator:
+    """Turns the round's client updates into a single aggregated update.
+
+    ``updates`` is a ``(num_sampled_clients, param_dim)`` array; the return
+    value is the length-``param_dim`` update the server adds to the global
+    model (scaled by the server learning rate).  ``global_params`` and ``rng``
+    are available for defenses that need them (e.g. CRFL smoothing noise, DP
+    noise, FLARE latent-space probes).
+    """
+
+    name = "aggregator"
+
+    def aggregate(
+        self,
+        updates: np.ndarray,
+        global_params: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(
+        self,
+        updates: np.ndarray,
+        global_params: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        if updates.ndim != 2:
+            raise ValueError("updates must be a (clients, dim) matrix")
+        if updates.shape[0] == 0:
+            raise ValueError("cannot aggregate an empty round")
+        return self.aggregate(updates, global_params, rng)
+
+
+class MeanAggregator(Aggregator):
+    """Plain FedAvg mean of client updates (no defense)."""
+
+    name = "mean"
+
+    def aggregate(
+        self,
+        updates: np.ndarray,
+        global_params: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return updates.mean(axis=0)

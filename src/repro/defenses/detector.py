@@ -1,0 +1,71 @@
+"""MESAS-style statistical poisoned-update detector (Krauß & Dmitrienko, CCS'23).
+
+The detector computes per-update scalar features (l2 norm, angle to the
+aggregate, angle variance contribution) and flags updates whose features are
+statistical outliers relative to the round's population, using the same test
+battery the paper reports CollaPois bypasses (t-test / Levene / KS on groups,
+3σ rule per update).  It can be used standalone for analysis, or as an
+aggregator that drops flagged updates before averaging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.statistics import three_sigma_outliers
+from repro.defenses.base import Aggregator
+from repro.metrics.gradients import angles_to_reference
+
+
+class StatisticalDetector(Aggregator):
+    """Filter updates flagged as outliers on norm or angle, then average."""
+
+    name = "detector"
+
+    def __init__(self, use_norm: bool = True, use_angle: bool = True) -> None:
+        if not use_norm and not use_angle:
+            raise ValueError("enable at least one feature")
+        self.use_norm = use_norm
+        self.use_angle = use_angle
+        self.last_flags: np.ndarray | None = None
+
+    def flag_updates(self, updates: np.ndarray) -> np.ndarray:
+        """Boolean mask of updates considered suspicious this round."""
+        n = updates.shape[0]
+        flags = np.zeros(n, dtype=bool)
+        if self.use_norm:
+            norms = np.linalg.norm(updates, axis=1)
+            flags |= three_sigma_outliers(norms)
+        if self.use_angle:
+            aggregate = updates.mean(axis=0)
+            angles = angles_to_reference(updates, aggregate)
+            flags |= three_sigma_outliers(angles)
+        return flags
+
+    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+        flags = self.flag_updates(updates)
+        self.last_flags = flags
+        kept = updates[~flags]
+        if kept.shape[0] == 0:
+            # Refusing to aggregate would stall training; fall back to the
+            # coordinate-wise median of everything, the conservative choice.
+            return np.median(updates, axis=0)
+        return kept.mean(axis=0)
+
+    def detection_report(self, updates: np.ndarray, malicious_mask: np.ndarray) -> dict[str, float]:
+        """Precision/recall of the detector against ground-truth labels."""
+        flags = self.flag_updates(updates)
+        malicious_mask = np.asarray(malicious_mask, dtype=bool)
+        true_positive = float(np.sum(flags & malicious_mask))
+        flagged = float(np.sum(flags))
+        actual = float(np.sum(malicious_mask))
+        precision = true_positive / flagged if flagged else 0.0
+        recall = true_positive / actual if actual else 0.0
+        return {
+            "flagged": flagged,
+            "precision": precision,
+            "recall": recall,
+            "false_positive_rate": float(np.sum(flags & ~malicious_mask)) / max(
+                1.0, float(np.sum(~malicious_mask))
+            ),
+        }

@@ -1,0 +1,40 @@
+"""Ditto-style defensive personalisation (Li et al., ICML 2021).
+
+Ditto is not an aggregation rule: each client fine-tunes the (possibly
+corrupted) global model on its own private data with a proximal term, and
+deploys the fine-tuned model.  We expose it as a personaliser that can wrap
+any trained global model, used in the defense-sweep benchmarks to check how
+much local fine-tuning erodes the backdoor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.federated.client import LocalTrainingConfig, local_train
+
+
+class DittoPersonalizer:
+    """Per-client proximal fine-tuning of the global model."""
+
+    name = "ditto"
+
+    def __init__(self, epochs: int = 2, lr: float = 0.05, proximal_mu: float = 0.1,
+                 batch_size: int = 16) -> None:
+        if epochs <= 0:
+            raise ValueError("epochs must be positive")
+        self.config = LocalTrainingConfig(
+            epochs=epochs, batch_size=batch_size, lr=lr, proximal_mu=proximal_mu
+        )
+
+    def personalize(
+        self,
+        model,
+        global_params: np.ndarray,
+        data: Dataset,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Return the client's fine-tuned parameter vector."""
+        update, _ = local_train(model, global_params, data, self.config, rng)
+        return global_params + update

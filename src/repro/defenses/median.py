@@ -1,0 +1,16 @@
+"""Coordinate-wise median aggregation (Yin et al., 2018)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Aggregator
+
+
+class CoordinateMedian(Aggregator):
+    """Element-wise median of the client updates."""
+
+    name = "median"
+
+    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+        return np.median(updates, axis=0)

@@ -1,0 +1,49 @@
+"""Defense registry: build any Table-I defense from its name.
+
+Used by the benchmark harness and the examples to sweep over defenses with a
+uniform interface.
+"""
+
+from __future__ import annotations
+
+from repro.defenses.base import Aggregator, MeanAggregator
+from repro.defenses.crfl import CRFL
+from repro.defenses.detector import StatisticalDetector
+from repro.defenses.dp import DPAggregator
+from repro.defenses.flare import FLARE
+from repro.defenses.krum import Krum
+from repro.defenses.median import CoordinateMedian
+from repro.defenses.norm_bound import NormBound
+from repro.defenses.rlr import RobustLearningRate
+from repro.defenses.signsgd import SignSGDAggregator
+from repro.defenses.trimmed_mean import TrimmedMean
+
+_DEFENSES: dict[str, type[Aggregator]] = {
+    "mean": MeanAggregator,
+    "krum": Krum,
+    "median": CoordinateMedian,
+    "trimmed_mean": TrimmedMean,
+    "norm_bound": NormBound,
+    "dp": DPAggregator,
+    "rlr": RobustLearningRate,
+    "signsgd": SignSGDAggregator,
+    "flare": FLARE,
+    "crfl": CRFL,
+    "detector": StatisticalDetector,
+}
+
+
+def available_defenses() -> list[str]:
+    """Names of every registered aggregation defense."""
+    return sorted(_DEFENSES)
+
+
+def make_defense(name: str, **kwargs) -> Aggregator:
+    """Instantiate a defense by name with optional keyword overrides."""
+    try:
+        cls = _DEFENSES[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown defense {name!r}; available: {', '.join(available_defenses())}"
+        ) from exc
+    return cls(**kwargs)

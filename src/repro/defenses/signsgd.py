@@ -1,0 +1,27 @@
+"""SignSGD with majority vote (Bernstein et al., 2018).
+
+Clients effectively vote on the sign of every coordinate; the server applies a
+fixed-magnitude step in the majority direction.  Included for the Table I
+catalogue and the defense-sweep benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Aggregator
+
+
+class SignSGDAggregator(Aggregator):
+    """Majority-vote sign aggregation with a fixed step size."""
+
+    name = "signsgd"
+
+    def __init__(self, step_size: float = 0.01) -> None:
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+
+    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+        vote = np.sign(np.sign(updates).sum(axis=0))
+        return self.step_size * vote

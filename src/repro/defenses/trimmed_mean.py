@@ -1,0 +1,30 @@
+"""α-trimmed-mean aggregation (Yin et al., 2018).
+
+For every coordinate the largest and smallest ``trim_fraction`` of client
+values are discarded and the remaining values averaged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.defenses.base import Aggregator
+
+
+class TrimmedMean(Aggregator):
+    """Coordinate-wise trimmed mean."""
+
+    name = "trimmed_mean"
+
+    def __init__(self, trim_fraction: float = 0.2) -> None:
+        if not 0.0 <= trim_fraction < 0.5:
+            raise ValueError("trim_fraction must be in [0, 0.5)")
+        self.trim_fraction = trim_fraction
+
+    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+        n = updates.shape[0]
+        k = int(np.floor(self.trim_fraction * n))
+        if k == 0 or n - 2 * k <= 0:
+            return updates.mean(axis=0)
+        ordered = np.sort(updates, axis=0)
+        return ordered[k : n - k].mean(axis=0)

@@ -1,0 +1,72 @@
+"""Attack-comparison sweeps (Figs. 1, 8 and 15 of the paper).
+
+* :func:`attack_comparison_sweep` — CollaPois vs DPois / MRepl / DBA across
+  Dirichlet α values for a given training algorithm and dataset (Figs. 8/15).
+* :func:`baseline_sensitivity_sweep` — DPois / MRepl at two compromised-client
+  fractions across α, showing their insensitivity to both (Fig. 1).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+def attack_comparison_sweep(
+    base_config: ExperimentConfig,
+    alphas: list[float],
+    attacks: list[str] = ("collapois", "dpois", "mrepl", "dba"),
+) -> list[dict]:
+    """Benign AC and Attack SR for every (attack, α) pair.
+
+    Returns one row per combination with keys ``attack``, ``alpha``,
+    ``benign_accuracy``, ``attack_success_rate`` — the series plotted in
+    Figs. 8 and 15.
+    """
+    rows: list[dict] = []
+    for attack in attacks:
+        for alpha in alphas:
+            config = base_config.with_overrides(attack=attack, alpha=alpha)
+            result = run_experiment(config)
+            rows.append(
+                {
+                    "attack": attack,
+                    "alpha": alpha,
+                    "algorithm": config.algorithm,
+                    "benign_accuracy": result.benign_accuracy,
+                    "attack_success_rate": result.attack_success_rate,
+                }
+            )
+    return rows
+
+
+def baseline_sensitivity_sweep(
+    base_config: ExperimentConfig,
+    alphas: list[float],
+    fractions: list[float] = (0.05, 0.15),
+    attacks: list[str] = ("dpois", "mrepl"),
+) -> list[dict]:
+    """Fig. 1: baseline attacks barely react to |C| or α.
+
+    Returns one row per (attack, fraction, α) with the resulting Attack SR;
+    the paper's point is that the spread across rows is modest for DPois and
+    MRepl, which motivates CollaPois.
+    """
+    rows: list[dict] = []
+    for attack in attacks:
+        for fraction in fractions:
+            for alpha in alphas:
+                config = base_config.with_overrides(
+                    attack=attack, alpha=alpha, compromised_fraction=fraction
+                )
+                result = run_experiment(config)
+                rows.append(
+                    {
+                        "attack": attack,
+                        "compromised_fraction": fraction,
+                        "alpha": alpha,
+                        "benign_accuracy": result.benign_accuracy,
+                        "attack_success_rate": result.attack_success_rate,
+                    }
+                )
+    return rows

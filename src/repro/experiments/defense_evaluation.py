@@ -1,0 +1,80 @@
+"""Defense-evaluation sweeps (Figs. 9, 10, 16–25 of the paper).
+
+* :func:`defense_sweep` — CollaPois against the four headline defenses
+  (DP, NormBound, Krum, RLR) plus undefended FedAvg, across α (Figs. 9/16).
+* :func:`compromised_fraction_sweep` — reducing the compromised fraction and
+  reporting both the population average and the top-k% most affected clients
+  (Figs. 10, 17–25).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.metrics.client_level import top_k_metrics
+
+DEFAULT_DEFENSES: dict[str, dict] = {
+    "mean": {},
+    "dp": {"clip_norm": 2.0, "noise_multiplier": 0.002},
+    "norm_bound": {"max_norm": 2.0, "noise_std": 0.0},
+    "krum": {"num_malicious": 1, "multi": 3},
+    "rlr": {"threshold_fraction": 0.6},
+}
+
+
+def defense_sweep(
+    base_config: ExperimentConfig,
+    alphas: list[float],
+    defenses: dict[str, dict] | None = None,
+) -> list[dict]:
+    """Benign AC and Attack SR of CollaPois under each defense at each α."""
+    defenses = defenses if defenses is not None else DEFAULT_DEFENSES
+    rows: list[dict] = []
+    for name, kwargs in defenses.items():
+        if name in {"krum", "rlr"} and base_config.algorithm == "metafed":
+            # Krum and RLR are "not applicable for MetaFed" (Fig. 9 caption).
+            continue
+        for alpha in alphas:
+            config = base_config.with_overrides(defense=name, defense_kwargs=dict(kwargs), alpha=alpha)
+            result = run_experiment(config)
+            rows.append(
+                {
+                    "defense": name,
+                    "alpha": alpha,
+                    "algorithm": config.algorithm,
+                    "benign_accuracy": result.benign_accuracy,
+                    "attack_success_rate": result.attack_success_rate,
+                }
+            )
+    return rows
+
+
+def compromised_fraction_sweep(
+    base_config: ExperimentConfig,
+    fractions: list[float],
+    top_k_percents: list[float] = (1.0, 25.0, 50.0, 100.0),
+    defense: str = "dp",
+    defense_kwargs: dict | None = None,
+) -> list[dict]:
+    """Attack SR at several compromised fractions, overall and for top-k% clients."""
+    rows: list[dict] = []
+    for fraction in fractions:
+        config = base_config.with_overrides(
+            compromised_fraction=fraction,
+            defense=defense,
+            defense_kwargs=dict(defense_kwargs or DEFAULT_DEFENSES.get(defense, {})),
+        )
+        result = run_experiment(config)
+        for k in top_k_percents:
+            metrics = top_k_metrics(result.evaluation, k)
+            rows.append(
+                {
+                    "compromised_fraction": fraction,
+                    "defense": defense,
+                    "top_k_percent": k,
+                    "benign_accuracy": metrics["benign_accuracy"],
+                    "attack_success_rate": metrics["attack_success_rate"],
+                    "num_clients": metrics["num_clients"],
+                }
+            )
+    return rows

@@ -1,0 +1,36 @@
+"""Longevity / stability experiment (Fig. 13 of the paper).
+
+Tracks Benign AC and Attack SR round by round for CollaPois and MRepl.  The
+paper's observation: MRepl causes an abrupt shift when its replacement round
+fires and then decays, whereas CollaPois rises steadily and persists.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+
+
+def longevity_analysis(
+    base_config: ExperimentConfig,
+    attacks: list[str] = ("collapois", "mrepl"),
+    eval_every: int = 1,
+) -> dict[str, list[dict]]:
+    """Per-round Benign AC / Attack SR series for each attack."""
+    series: dict[str, list[dict]] = {}
+    for attack in attacks:
+        config = base_config.with_overrides(attack=attack, eval_every=eval_every)
+        result = run_experiment(config)
+        rows = []
+        for record in result.history.records:
+            if record.benign_accuracy is None:
+                continue
+            rows.append(
+                {
+                    "round": record.round_idx,
+                    "benign_accuracy": record.benign_accuracy,
+                    "attack_success_rate": record.attack_success_rate,
+                }
+            )
+        series[attack] = rows
+    return series

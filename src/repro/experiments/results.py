@@ -1,0 +1,62 @@
+"""Experiment result container and plain-text table formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.federated.history import TrainingHistory
+from repro.metrics.accuracy import ClientEvaluation
+
+
+@dataclass
+class ExperimentResult:
+    """Output of :func:`repro.experiments.runner.run_experiment`."""
+
+    config: object
+    evaluation: ClientEvaluation
+    history: TrainingHistory
+    compromised_ids: list[int] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def benign_accuracy(self) -> float:
+        return self.evaluation.mean_benign_accuracy
+
+    @property
+    def attack_success_rate(self) -> float:
+        return self.evaluation.mean_attack_success_rate
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "benign_accuracy": self.benign_accuracy,
+            "attack_success_rate": self.attack_success_rate,
+            "rounds": float(len(self.history)),
+            "num_compromised": float(len(self.compromised_ids)),
+        }
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None, floatfmt: str = ".3f") -> str:
+    """Render a list of dict rows as an aligned plain-text table.
+
+    Used by the benchmark harness to print the regenerated figure series in a
+    form directly comparable with the paper's plots.
+    """
+    if not rows:
+        return "(empty table)"
+    columns = columns or list(rows[0].keys())
+
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return format(value, floatfmt)
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
+    ]
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "-+-".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        " | ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in rendered
+    )
+    return f"{header}\n{separator}\n{body}"

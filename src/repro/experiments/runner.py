@@ -1,0 +1,214 @@
+"""Generic experiment runner: config → federation → training → evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attacks.dba import DBAAttack
+from repro.attacks.dpois import DPoisAttack
+from repro.attacks.mrepl import MReplAttack
+from repro.attacks.triggers import PixelPatchTrigger, TokenTrigger, WarpingTrigger
+from repro.core.collapois import CollaPoisAttack
+from repro.core.stealth import StealthConfig
+from repro.data.federated_data import FederatedDataset, build_federated_dataset
+from repro.data.femnist import SyntheticFEMNIST
+from repro.data.sentiment import SyntheticSentiment
+from repro.defenses.registry import make_defense
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult
+from repro.federated.algorithms.fedavg import FedAvg
+from repro.federated.algorithms.feddc import FedDC
+from repro.federated.algorithms.metafed import MetaFed
+from repro.federated.server import FederatedServer, ServerConfig
+from repro.metrics.accuracy import evaluate_clients
+from repro.nn.layers import Flatten
+from repro.nn.model import Sequential, make_lenet, make_mlp, make_text_head
+
+
+def build_dataset(config: ExperimentConfig) -> tuple[FederatedDataset, object]:
+    """Build the federation and return it with its generator."""
+    if config.dataset == "femnist":
+        generator = SyntheticFEMNIST(
+            num_classes=config.num_classes,
+            image_size=config.image_size,
+            seed=config.data_seed,
+        )
+    else:
+        generator = SyntheticSentiment(num_classes=config.num_classes, seed=config.data_seed)
+    dataset = build_federated_dataset(
+        generator,
+        num_clients=config.num_clients,
+        samples_per_client=config.samples_per_client,
+        alpha=config.alpha,
+        seed=config.data_seed,
+    )
+    return dataset, generator
+
+
+def build_model_factory(config: ExperimentConfig, generator):
+    """Return a zero-argument callable producing fresh, identically-initialised models."""
+    seed = config.seed
+    if config.dataset == "sentiment":
+        embedding_dim = generator.embedding_dim
+
+        def factory():
+            return make_text_head(
+                embedding_dim=embedding_dim,
+                hidden=config.hidden[0] if config.hidden else 64,
+                num_classes=config.num_classes,
+                seed=seed,
+            )
+
+        return factory
+    if config.model == "lenet":
+
+        def factory():
+            return make_lenet(
+                image_size=config.image_size,
+                num_classes=config.num_classes,
+                seed=seed,
+            )
+
+        return factory
+
+    in_features = config.image_size * config.image_size
+
+    def factory():
+        mlp = make_mlp(in_features, config.hidden, config.num_classes, seed=seed)
+        return Sequential([Flatten(), *mlp.layers])
+
+    return factory
+
+
+def build_trigger(config: ExperimentConfig, generator):
+    """Instantiate the backdoor trigger matching the dataset modality."""
+    if config.dataset == "sentiment":
+        return TokenTrigger(generator.trigger_embedding(), scale=4.0)
+    if config.trigger == "patch":
+        return PixelPatchTrigger(config.image_size, patch_size=3)
+    return WarpingTrigger(config.image_size, strength=2.0, seed=config.seed + 7)
+
+
+def select_compromised_clients(
+    num_clients: int, fraction: float, seed: int = 0
+) -> list[int]:
+    """Randomly choose ``round(fraction · N)`` compromised clients (at least 1)."""
+    if fraction <= 0.0:
+        return []
+    rng = np.random.default_rng(seed + 424242)
+    count = max(1, int(round(fraction * num_clients)))
+    count = min(count, num_clients - 1) if num_clients > 1 else 1
+    return sorted(int(c) for c in rng.choice(num_clients, size=count, replace=False))
+
+
+def build_attack(config: ExperimentConfig):
+    """Instantiate the configured attack object (or None)."""
+    if config.attack == "none":
+        return None
+    if config.attack == "collapois":
+        return CollaPoisAttack(
+            stealth=StealthConfig(
+                psi_low=config.psi_low,
+                psi_high=config.psi_high,
+                clip_bound=config.clip_bound,
+            ),
+            trojan_epochs=config.trojan_epochs,
+        )
+    if config.attack == "dpois":
+        return DPoisAttack()
+    if config.attack == "mrepl":
+        return MReplAttack(trojan_epochs=config.trojan_epochs)
+    if config.attack == "dba":
+        return DBAAttack()
+    raise ValueError(f"unknown attack {config.attack!r}")
+
+
+def build_algorithm(config: ExperimentConfig):
+    if config.algorithm == "fedavg":
+        return FedAvg()
+    if config.algorithm == "feddc":
+        return FedDC()
+    return MetaFed()
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Run a full experiment: build, train, evaluate at the client level."""
+    dataset, generator = build_dataset(config)
+    model_factory = build_model_factory(config, generator)
+    trigger = build_trigger(config, generator)
+    algorithm = build_algorithm(config)
+    attack = build_attack(config)
+    compromised = (
+        select_compromised_clients(config.num_clients, config.compromised_fraction, config.seed)
+        if attack is not None
+        else []
+    )
+    if attack is not None:
+        attack.setup(
+            dataset,
+            compromised,
+            model_factory,
+            trigger,
+            config.target_class,
+            local_config=config.local,
+            seed=config.seed,
+        )
+
+    eval_model = model_factory()
+
+    server_config = ServerConfig(
+        rounds=config.rounds,
+        sample_rate=config.sample_rate,
+        server_lr=config.server_lr,
+        seed=config.seed,
+        local=config.local,
+        eval_every=config.eval_every,
+    )
+
+    server = FederatedServer(
+        dataset,
+        model_factory,
+        algorithm,
+        server_config,
+        aggregator=make_defense(config.defense, **config.defense_kwargs),
+        attack=attack,
+        compromised_ids=compromised,
+    )
+
+    if config.eval_every:
+        benign_ids = [c for c in range(dataset.num_clients) if c not in set(compromised)]
+
+        def eval_fn(global_params, round_idx):
+            evaluation = evaluate_clients(
+                dataset,
+                eval_model,
+                params_fn=lambda _cid: global_params,
+                trigger=trigger,
+                target_class=config.target_class,
+                client_ids=benign_ids,
+                max_test_samples=config.max_test_samples,
+            )
+            return evaluation.as_dict()
+
+        server.eval_fn = eval_fn
+
+    server.run()
+
+    benign_ids = [c for c in range(dataset.num_clients) if c not in set(compromised)]
+    evaluation = evaluate_clients(
+        dataset,
+        eval_model,
+        params_fn=server.personalized_params,
+        trigger=trigger,
+        target_class=config.target_class,
+        client_ids=benign_ids,
+        max_test_samples=config.max_test_samples,
+    )
+    extras = {"dataset": dataset, "server": server, "trigger": trigger, "attack": attack}
+    return ExperimentResult(
+        config=config,
+        evaluation=evaluation,
+        history=server.history,
+        compromised_ids=compromised,
+        extras=extras,
+    )

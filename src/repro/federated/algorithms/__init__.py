@@ -1,0 +1,8 @@
+"""Federated training algorithms (FedAvg, FedDC, MetaFed)."""
+
+from repro.federated.algorithms.base import FederatedAlgorithm
+from repro.federated.algorithms.fedavg import FedAvg
+from repro.federated.algorithms.feddc import FedDC
+from repro.federated.algorithms.metafed import MetaFed
+
+__all__ = ["FederatedAlgorithm", "FedAvg", "FedDC", "MetaFed"]

@@ -1,0 +1,55 @@
+"""Interface shared by the federated training algorithms.
+
+The server round loop (:mod:`repro.federated.server`) is algorithm-agnostic:
+an algorithm decides (a) how a *benign* client turns the global model into a
+local update, (b) what per-client state it keeps across rounds, and (c) how a
+client's *personalised* model — the one the paper evaluates Benign AC and
+Attack SR on — is derived from the global model at evaluation time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.federated.client import LocalTrainingConfig
+
+
+class FederatedAlgorithm:
+    """Base class for FedAvg / FedDC / MetaFed."""
+
+    name = "base"
+
+    def init_state(self, num_clients: int, param_dim: int) -> None:
+        """Allocate per-client state (called once before training)."""
+
+    def benign_update(
+        self,
+        client_id: int,
+        model,
+        global_params: np.ndarray,
+        data: Dataset,
+        config: LocalTrainingConfig,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, float]:
+        """Compute a benign client's local update ``Δθ`` and training loss."""
+        raise NotImplementedError
+
+    def post_aggregate(
+        self,
+        global_params: np.ndarray,
+        updates_by_client: dict[int, np.ndarray],
+    ) -> None:
+        """Update per-client state after the server aggregated a round."""
+
+    def personalized_params(
+        self,
+        client_id: int,
+        global_params: np.ndarray,
+        model,
+        data: Dataset,
+        config: LocalTrainingConfig,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Parameters of the client's personalised model used for evaluation."""
+        raise NotImplementedError

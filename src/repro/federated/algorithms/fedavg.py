@@ -1,0 +1,41 @@
+"""FedAvg: plain federated averaging (McMahan et al., 2017).
+
+Benign clients run local SGD from the global model; the personalised model of
+every client *is* the global model (no personalisation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.federated.algorithms.base import FederatedAlgorithm
+from repro.federated.client import LocalTrainingConfig, local_train
+
+
+class FedAvg(FederatedAlgorithm):
+    """Federated averaging without personalisation."""
+
+    name = "fedavg"
+
+    def benign_update(
+        self,
+        client_id: int,
+        model,
+        global_params: np.ndarray,
+        data: Dataset,
+        config: LocalTrainingConfig,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, float]:
+        return local_train(model, global_params, data, config, rng)
+
+    def personalized_params(
+        self,
+        client_id: int,
+        global_params: np.ndarray,
+        model,
+        data: Dataset,
+        config: LocalTrainingConfig,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        return global_params.copy()

@@ -1,0 +1,126 @@
+"""Local client-side training.
+
+``local_train`` is the single routine every benign client (and the DPois
+baseline attack) uses to turn a global parameter vector into a local update
+``Δθ = θ_local − θ_global`` after ``K`` epochs of mini-batch SGD — exactly
+lines 6–11 of Algorithm 1 in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import SGD
+from repro.nn.serialization import flatten_params, unflatten_params
+
+
+@dataclass
+class LocalTrainingConfig:
+    """Hyper-parameters of a client's local training.
+
+    Defaults follow Section V of the paper: SGD with learning rate 0.001 for
+    local models, one local epoch, small mini-batches.
+    """
+
+    epochs: int = 1
+    batch_size: int = 16
+    lr: float = 0.05
+    momentum: float = 0.0
+    weight_decay: float = 0.0
+    proximal_mu: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.lr <= 0:
+            raise ValueError("lr must be positive")
+        if self.proximal_mu < 0:
+            raise ValueError("proximal_mu must be non-negative")
+
+
+def local_train(
+    model,
+    global_params: np.ndarray,
+    data: Dataset,
+    config: LocalTrainingConfig,
+    rng: np.random.Generator,
+    drift_correction: np.ndarray | None = None,
+) -> tuple[np.ndarray, float]:
+    """Run local SGD from the global model and return ``(Δθ, final loss)``.
+
+    Parameters
+    ----------
+    model:
+        A model instance (reused across calls to avoid re-allocation); its
+        parameters are overwritten with ``global_params`` before training.
+    global_params:
+        Flat global parameter vector θ_t received from the server.
+    data:
+        The client's local training dataset.
+    config:
+        Local optimisation hyper-parameters.  ``proximal_mu`` adds a FedProx /
+        FedDC-style proximal term pulling local weights toward the global
+        model.
+    rng:
+        Randomness source for mini-batch shuffling.
+    drift_correction:
+        Optional FedDC per-client drift vector added to the parameter vector
+        seen by the proximal term (see :class:`repro.federated.algorithms.feddc.FedDC`).
+
+    Returns
+    -------
+    (update, loss):
+        ``update`` is the flat local update Δθ = θ_local − θ_global; ``loss``
+        is the mean training loss of the final epoch.
+    """
+    if len(data) == 0:
+        return np.zeros_like(global_params), 0.0
+    unflatten_params(model, global_params)
+    optimiser = SGD(model, lr=config.lr, momentum=config.momentum,
+                    weight_decay=config.weight_decay)
+    criterion = SoftmaxCrossEntropy()
+    anchor = global_params if drift_correction is None else global_params - drift_correction
+    last_epoch_losses: list[float] = []
+    for epoch in range(config.epochs):
+        epoch_losses: list[float] = []
+        for batch_x, batch_y in data.batches(config.batch_size, rng=rng):
+            optimiser.zero_grad()
+            logits = model.forward(batch_x, training=True)
+            loss = criterion.forward(logits, batch_y)
+            grad = criterion.backward()
+            model.backward(grad)
+            if config.proximal_mu > 0.0:
+                _add_proximal_gradient(model, anchor, config.proximal_mu)
+            optimiser.step()
+            epoch_losses.append(loss)
+        last_epoch_losses = epoch_losses
+    local_params = flatten_params(model)
+    mean_loss = float(np.mean(last_epoch_losses)) if last_epoch_losses else 0.0
+    return local_params - global_params, mean_loss
+
+
+def _add_proximal_gradient(model, anchor: np.ndarray, mu: float) -> None:
+    """Add ``mu * (θ − anchor)`` to the model's parameter gradients in place."""
+    offset = 0
+    anchor = np.asarray(anchor)
+    grads = dict(model.named_gradients())
+    for name, param in model.named_parameters():
+        size = param.size
+        anchor_slice = anchor[offset : offset + size].reshape(param.shape)
+        grads[name] += mu * (param - anchor_slice)
+        offset += size
+
+
+def evaluate_model(model, params: np.ndarray, data: Dataset) -> float:
+    """Accuracy of ``params`` (loaded into ``model``) on a dataset."""
+    if len(data) == 0:
+        return 0.0
+    unflatten_params(model, params)
+    preds = model.predict(data.x)
+    return float((preds == data.y).mean())

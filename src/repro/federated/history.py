@@ -1,0 +1,41 @@
+"""Per-round training history used by the longevity/stability analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RoundRecord:
+    """Everything recorded about a single federated round."""
+
+    round_idx: int
+    sampled_clients: list[int]
+    compromised_sampled: list[int]
+    mean_benign_loss: float
+    update_norm: float
+    benign_accuracy: float | None = None
+    attack_success_rate: float | None = None
+    extras: dict = field(default_factory=dict)
+
+
+@dataclass
+class TrainingHistory:
+    """Ordered collection of round records plus convenience accessors."""
+
+    records: list[RoundRecord] = field(default_factory=list)
+
+    def append(self, record: RoundRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def series(self, attribute: str) -> list:
+        """Extract a per-round series of one attribute (e.g. ``"benign_accuracy"``)."""
+        return [getattr(record, attribute) for record in self.records]
+
+    def last(self) -> RoundRecord:
+        if not self.records:
+            raise IndexError("history is empty")
+        return self.records[-1]

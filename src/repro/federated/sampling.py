@@ -1,0 +1,29 @@
+"""Client sampling for each federated round."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sample_clients(
+    num_clients: int,
+    sample_rate: float,
+    rng: np.random.Generator,
+    min_clients: int = 2,
+) -> np.ndarray:
+    """Sample a subset of client ids for one round.
+
+    The paper samples each client independently with probability ``q``
+    (q = 1% at paper scale).  To keep small simulations meaningful we enforce
+    a floor of ``min_clients`` sampled clients per round.
+    """
+    if num_clients <= 0:
+        raise ValueError("num_clients must be positive")
+    if not 0.0 < sample_rate <= 1.0:
+        raise ValueError("sample_rate must be in (0, 1]")
+    mask = rng.random(num_clients) < sample_rate
+    selected = np.flatnonzero(mask)
+    if selected.size < min(min_clients, num_clients):
+        extra = rng.choice(num_clients, size=min(min_clients, num_clients), replace=False)
+        selected = np.union1d(selected, extra)
+    return selected.astype(np.int64)

@@ -1,0 +1,163 @@
+"""Federated server: the synchronous round loop of Algorithm 1.
+
+Each round the server samples clients, collects benign updates from the
+active training algorithm and malicious updates from the active attack
+(if any), aggregates them through the configured aggregator (plain mean or a
+robust defense), and applies the aggregated update with the server learning
+rate.  Per-round statistics are recorded in a :class:`TrainingHistory`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.federated_data import FederatedDataset
+from repro.defenses.base import Aggregator, MeanAggregator
+from repro.federated.algorithms.base import FederatedAlgorithm
+from repro.federated.client import LocalTrainingConfig
+from repro.federated.history import RoundRecord, TrainingHistory
+from repro.federated.sampling import sample_clients
+from repro.nn.serialization import flatten_params
+
+
+@dataclass
+class ServerConfig:
+    """Hyper-parameters of the federated training run."""
+
+    rounds: int = 20
+    sample_rate: float = 0.2
+    server_lr: float = 1.0
+    seed: int = 0
+    min_sampled_clients: int = 4
+    local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
+    eval_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if not 0.0 < self.sample_rate <= 1.0:
+            raise ValueError("sample_rate must be in (0, 1]")
+        if self.server_lr <= 0:
+            raise ValueError("server_lr must be positive")
+
+
+class FederatedServer:
+    """Runs federated training, optionally under attack and/or defense."""
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        model_factory: Callable[[], object],
+        algorithm: FederatedAlgorithm,
+        config: ServerConfig,
+        aggregator: Aggregator | None = None,
+        attack=None,
+        compromised_ids: list[int] | None = None,
+        eval_fn: Callable[[np.ndarray, int], dict] | None = None,
+    ) -> None:
+        self.dataset = dataset
+        self.model_factory = model_factory
+        self.algorithm = algorithm
+        self.config = config
+        self.aggregator = aggregator or MeanAggregator()
+        self.attack = attack
+        self.compromised_ids = set(compromised_ids or [])
+        if self.attack is not None and not self.compromised_ids:
+            raise ValueError("an attack requires at least one compromised client")
+        self.eval_fn = eval_fn
+        self._rng = np.random.default_rng(config.seed)
+        # A single model instance is reused for all local training to avoid
+        # repeated allocation; its parameters are overwritten on each use.
+        self._worker_model = model_factory()
+        self.global_params = flatten_params(self.model_factory())
+        self.algorithm.init_state(dataset.num_clients, self.global_params.shape[0])
+        if hasattr(self.algorithm, "set_label_distributions"):
+            self.algorithm.set_label_distributions(
+                np.stack([c.class_counts for c in dataset.clients])
+            )
+        self.history = TrainingHistory()
+
+    def run(self, rounds: int | None = None) -> TrainingHistory:
+        """Execute the configured number of federated rounds."""
+        total = rounds if rounds is not None else self.config.rounds
+        for _ in range(total):
+            self.run_round()
+        return self.history
+
+    def run_round(self) -> RoundRecord:
+        """Execute a single federated round and return its record."""
+        round_idx = len(self.history)
+        sampled = sample_clients(
+            self.dataset.num_clients,
+            self.config.sample_rate,
+            self._rng,
+            min_clients=self.config.min_sampled_clients,
+        )
+        updates: list[np.ndarray] = []
+        benign_losses: list[float] = []
+        benign_updates_by_client: dict[int, np.ndarray] = {}
+        compromised_sampled: list[int] = []
+        for client_id in sampled:
+            client_id = int(client_id)
+            client_rng = np.random.default_rng(
+                self.config.seed * 1_000_003 + round_idx * 1_009 + client_id
+            )
+            if self.attack is not None and client_id in self.compromised_ids:
+                update = self.attack.compute_update(
+                    client_id=client_id,
+                    global_params=self.global_params,
+                    round_idx=round_idx,
+                    model=self._worker_model,
+                    rng=client_rng,
+                )
+                compromised_sampled.append(client_id)
+            else:
+                update, loss = self.algorithm.benign_update(
+                    client_id,
+                    self._worker_model,
+                    self.global_params,
+                    self.dataset.client(client_id).train,
+                    self.config.local,
+                    client_rng,
+                )
+                benign_losses.append(loss)
+                benign_updates_by_client[client_id] = update
+            updates.append(update)
+
+        stacked = np.stack(updates)
+        aggregated = self.aggregator(stacked, self.global_params, self._rng)
+        self.global_params = self.global_params + self.config.server_lr * aggregated
+        self.algorithm.post_aggregate(self.global_params, benign_updates_by_client)
+
+        record = RoundRecord(
+            round_idx=round_idx,
+            sampled_clients=[int(c) for c in sampled],
+            compromised_sampled=compromised_sampled,
+            mean_benign_loss=float(np.mean(benign_losses)) if benign_losses else 0.0,
+            update_norm=float(np.linalg.norm(aggregated)),
+        )
+        if self.eval_fn is not None and self.config.eval_every:
+            if (round_idx + 1) % self.config.eval_every == 0:
+                metrics = self.eval_fn(self.global_params, round_idx)
+                record.benign_accuracy = metrics.get("benign_accuracy")
+                record.attack_success_rate = metrics.get("attack_success_rate")
+                record.extras.update(metrics)
+        self.history.append(record)
+        return record
+
+    def personalized_params(self, client_id: int, rng_seed: int | None = None) -> np.ndarray:
+        """Personalised parameters of one client under the active algorithm."""
+        rng = np.random.default_rng(
+            rng_seed if rng_seed is not None else self.config.seed * 31 + client_id
+        )
+        return self.algorithm.personalized_params(
+            client_id,
+            self.global_params,
+            self._worker_model,
+            self.dataset.client(client_id).train,
+            self.config.local,
+            rng,
+        )

@@ -1,0 +1,35 @@
+"""Evaluation metrics: population-level and client-level.
+
+* :mod:`repro.metrics.accuracy` — Benign AC and Attack SR (Section V), per
+  client and averaged over the federation.
+* :mod:`repro.metrics.client_level` — per-client scores (Eq. 8) and the
+  top-k% infected-client clusters used by the client-level analysis.
+* :mod:`repro.metrics.gradients` — gradient angle statistics (Fig. 3, Fig. 6).
+* :mod:`repro.metrics.similarity` — cumulative-label-distribution cosine
+  similarity to the attacker's auxiliary data (Eq. 9, Fig. 12).
+"""
+
+from repro.metrics.accuracy import ClientEvaluation, evaluate_clients, evaluate_global_model
+from repro.metrics.client_level import cluster_clients_by_score, client_scores, top_k_metrics
+from repro.metrics.gradients import (
+    aggregate_angle_to_group,
+    angle_between,
+    angles_to_reference,
+    pairwise_angles,
+)
+from repro.metrics.similarity import cumulative_label_cosine, cluster_similarity
+
+__all__ = [
+    "ClientEvaluation",
+    "evaluate_clients",
+    "evaluate_global_model",
+    "client_scores",
+    "cluster_clients_by_score",
+    "top_k_metrics",
+    "angle_between",
+    "pairwise_angles",
+    "angles_to_reference",
+    "aggregate_angle_to_group",
+    "cumulative_label_cosine",
+    "cluster_similarity",
+]

@@ -1,0 +1,79 @@
+"""Client-level risk analysis: scores, top-k% clusters (Eq. 8, Figs. 10–12).
+
+The paper argues that population averages hide the clients who are actually
+hurt.  Each benign client gets a score — the sum of its Benign AC and Attack
+SR (Eq. 8) — and clients are grouped into top-1%, top-25%, top-50% and
+bottom-50% clusters; metrics are then reported per cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.accuracy import ClientEvaluation
+
+
+def client_scores(evaluation: ClientEvaluation) -> np.ndarray:
+    """Eq. 8: per-client score = Benign AC + Attack SR."""
+    return evaluation.benign_accuracy + evaluation.attack_success_rate
+
+
+def top_k_metrics(evaluation: ClientEvaluation, k_percent: float) -> dict[str, float]:
+    """Average Benign AC / Attack SR over the top-k% highest-score clients."""
+    if not 0.0 < k_percent <= 100.0:
+        raise ValueError("k_percent must be in (0, 100]")
+    scores = client_scores(evaluation)
+    n = scores.size
+    if n == 0:
+        return {"benign_accuracy": 0.0, "attack_success_rate": 0.0, "num_clients": 0}
+    k = max(1, int(round(n * k_percent / 100.0)))
+    top = np.argsort(scores)[::-1][:k]
+    return {
+        "benign_accuracy": float(evaluation.benign_accuracy[top].mean()),
+        "attack_success_rate": float(evaluation.attack_success_rate[top].mean()),
+        "num_clients": int(k),
+    }
+
+
+def cluster_clients_by_score(
+    evaluation: ClientEvaluation,
+    boundaries: tuple[float, ...] = (1.0, 25.0, 50.0),
+) -> dict[str, np.ndarray]:
+    """Partition clients into nested score clusters, as in Fig. 11/12.
+
+    Returns a mapping from cluster name to the array of *positions* (indices
+    into the evaluation arrays) belonging to that cluster.  The k%-cluster
+    contains the top-k% clients *excluding* clients in all smaller clusters;
+    the remaining clients form the ``bottom`` cluster.
+    """
+    scores = client_scores(evaluation)
+    n = scores.size
+    order = np.argsort(scores)[::-1]
+    clusters: dict[str, np.ndarray] = {}
+    previous_cutoff = 0
+    for boundary in sorted(boundaries):
+        cutoff = max(1, int(round(n * boundary / 100.0)))
+        cutoff = min(cutoff, n)
+        members = order[previous_cutoff:cutoff]
+        clusters[f"top{boundary:g}%"] = members
+        previous_cutoff = cutoff
+    clusters["bottom"] = order[previous_cutoff:]
+    return clusters
+
+
+def cluster_metrics(
+    evaluation: ClientEvaluation,
+    clusters: dict[str, np.ndarray],
+) -> dict[str, dict[str, float]]:
+    """Mean Benign AC / Attack SR for each cluster produced above."""
+    out: dict[str, dict[str, float]] = {}
+    for name, members in clusters.items():
+        if members.size == 0:
+            out[name] = {"benign_accuracy": 0.0, "attack_success_rate": 0.0, "num_clients": 0}
+            continue
+        out[name] = {
+            "benign_accuracy": float(evaluation.benign_accuracy[members].mean()),
+            "attack_success_rate": float(evaluation.attack_success_rate[members].mean()),
+            "num_clients": int(members.size),
+        }
+    return out

@@ -1,0 +1,71 @@
+"""Gradient-geometry metrics: angles between client updates.
+
+The paper's key observation (Fig. 3) is that benign clients' updates scatter
+— the angles between them grow — as local data becomes more non-IID, while
+CollaPois's malicious updates stay tightly aligned because they all point at
+the same Trojaned model X.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def angle_between(u: np.ndarray, v: np.ndarray) -> float:
+    """Angle in radians between two update vectors (0 if either is zero)."""
+    u = np.asarray(u, dtype=np.float64).ravel()
+    v = np.asarray(v, dtype=np.float64).ravel()
+    nu, nv = np.linalg.norm(u), np.linalg.norm(v)
+    if nu == 0.0 or nv == 0.0:
+        return 0.0
+    cosine = float(np.clip(np.dot(u, v) / (nu * nv), -1.0, 1.0))
+    return float(np.arccos(cosine))
+
+
+def pairwise_angles(updates: np.ndarray) -> np.ndarray:
+    """All pairwise angles among the rows of a ``(clients, dim)`` matrix."""
+    updates = np.atleast_2d(np.asarray(updates, dtype=np.float64))
+    n = updates.shape[0]
+    if n < 2:
+        return np.zeros(0, dtype=np.float64)
+    norms = np.linalg.norm(updates, axis=1)
+    safe = np.clip(norms, 1e-12, None)
+    normalised = updates / safe[:, None]
+    cosines = np.clip(normalised @ normalised.T, -1.0, 1.0)
+    idx_i, idx_j = np.triu_indices(n, k=1)
+    pair_cos = cosines[idx_i, idx_j]
+    # Zero-norm rows produce meaningless angles; report 0 for those pairs.
+    zero_mask = (norms[idx_i] == 0.0) | (norms[idx_j] == 0.0)
+    angles = np.arccos(pair_cos)
+    angles[zero_mask] = 0.0
+    return angles
+
+
+def angles_to_reference(updates: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Angle of every row of ``updates`` to a single reference vector."""
+    updates = np.atleast_2d(np.asarray(updates, dtype=np.float64))
+    return np.asarray([angle_between(row, reference) for row in updates])
+
+
+def aggregate_angle_to_group(updates: np.ndarray, group: np.ndarray) -> np.ndarray:
+    """Angles β_i between each update and the *aggregated* group update.
+
+    This is the quantity Theorem 1 models as N(µ_α, σ²): the angle between a
+    benign client's gradient and the sum of the compromised clients'
+    malicious gradients.
+    """
+    group = np.atleast_2d(np.asarray(group, dtype=np.float64))
+    aggregated = group.sum(axis=0)
+    return angles_to_reference(updates, aggregated)
+
+
+def angle_summary(updates: np.ndarray) -> dict[str, float]:
+    """Mean/std/max of the pairwise angles of a group of updates (Fig. 3)."""
+    angles = pairwise_angles(updates)
+    if angles.size == 0:
+        return {"mean": 0.0, "std": 0.0, "max": 0.0}
+    return {
+        "mean": float(np.mean(angles)),
+        "std": float(np.std(angles)),
+        "max": float(np.max(angles)),
+    }

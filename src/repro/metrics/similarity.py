@@ -1,0 +1,53 @@
+"""Label-distribution similarity to the attacker's auxiliary data (Eq. 9).
+
+The paper explains why some benign clients are hit harder than others: the
+closer a client's cumulative label distribution is (in cosine similarity) to
+the auxiliary data the Trojaned model X was trained on, the more its gradients
+align with the malicious ones and the higher its Attack SR (Fig. 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.partition import cumulative_label_distribution
+
+
+def cumulative_label_cosine(client_counts: np.ndarray, auxiliary_counts: np.ndarray) -> float:
+    """Cosine similarity of two cumulative label distributions (Eq. 9)."""
+    a = cumulative_label_distribution(client_counts)
+    b = cumulative_label_distribution(auxiliary_counts)
+    na, nb = np.linalg.norm(a), np.linalg.norm(b)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(np.dot(a, b) / (na * nb))
+
+
+def cluster_similarity(
+    client_counts: np.ndarray,
+    auxiliary_counts: np.ndarray,
+    clusters: dict[str, np.ndarray],
+) -> dict[str, float]:
+    """Average CS_k of each infected-client cluster (Fig. 12).
+
+    Parameters
+    ----------
+    client_counts:
+        ``(num_clients, num_classes)`` matrix of per-client label counts.
+    auxiliary_counts:
+        Label-count vector of the attacker's auxiliary dataset Da.
+    clusters:
+        Output of :func:`repro.metrics.client_level.cluster_clients_by_score`,
+        mapping cluster names to arrays of client positions.
+    """
+    client_counts = np.atleast_2d(client_counts)
+    out: dict[str, float] = {}
+    for name, members in clusters.items():
+        if members.size == 0:
+            out[name] = 0.0
+            continue
+        sims = [
+            cumulative_label_cosine(client_counts[pos], auxiliary_counts) for pos in members
+        ]
+        out[name] = float(np.mean(sims))
+    return out

@@ -1,0 +1,27 @@
+"""Weight initialisation schemes for the numpy neural-network substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for dense weight matrices.
+
+    Parameters
+    ----------
+    shape:
+        ``(fan_in, fan_out)`` for a dense layer.
+    rng:
+        Source of randomness; callers pass a seeded generator so that model
+        initialisation is reproducible across federated clients.
+    """
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_uniform(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He (Kaiming) uniform initialisation, suitable for ReLU networks."""
+    limit = np.sqrt(6.0 / max(fan_in, 1))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)

@@ -1,0 +1,312 @@
+"""Differentiable layers with explicit forward/backward passes.
+
+Every layer follows the same contract:
+
+* ``forward(x, training=False)`` consumes a numpy array and returns a numpy
+  array, caching whatever is needed for the backward pass.
+* ``backward(grad_out)`` consumes the gradient of the loss with respect to the
+  layer output and returns the gradient with respect to the layer input,
+  accumulating parameter gradients in ``self.grads``.
+* ``params`` / ``grads`` are ordered dictionaries keyed by parameter name.
+
+The design intentionally mirrors the subset of PyTorch used by the paper's
+models (LeNet-style CNN, MLP heads) while staying dependency-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, he_uniform
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses with trainable parameters populate ``self.params`` and
+    ``self.grads`` with identically-keyed numpy arrays.
+    """
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients to zero."""
+        for name, grad in self.grads.items():
+            self.grads[name] = np.zeros_like(grad)
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Linear(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Linear layer dimensions must be positive")
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.params["W"] = glorot_uniform((in_features, out_features), rng)
+        self.params["b"] = np.zeros(out_features, dtype=np.float64)
+        self.grads["W"] = np.zeros_like(self.params["W"])
+        self.grads["b"] = np.zeros_like(self.params["b"])
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Linear expected input of shape (batch, {self.in_features}), got {x.shape}"
+            )
+        self._x = x
+        return x @ self.params["W"] + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.grads["W"] += self._x.T @ grad_out
+        self.grads["b"] += grad_out.sum(axis=0)
+        return grad_out @ self.params["W"].T
+
+
+class ReLU(Layer):
+    """Rectified linear activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._y**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class Flatten(Layer):
+    """Reshape ``(batch, *dims)`` into ``(batch, prod(dims))``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at evaluation time."""
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self._rng = rng or np.random.default_rng()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        self._mask = (self._rng.random(x.shape) >= self.p) / (1.0 - self.p)
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, stride: int) -> tuple[np.ndarray, int, int]:
+    """Extract sliding patches from ``(batch, C, H, W)`` into columns.
+
+    Returns an array of shape ``(batch, out_h, out_w, C * kh * kw)`` together
+    with the output spatial dimensions.
+    """
+    batch, channels, height, width = x.shape
+    out_h = (height - kh) // stride + 1
+    out_w = (width - kw) // stride + 1
+    shape = (batch, channels, out_h, out_w, kh, kw)
+    strides = (
+        x.strides[0],
+        x.strides[1],
+        x.strides[2] * stride,
+        x.strides[3] * stride,
+        x.strides[2],
+        x.strides[3],
+    )
+    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
+    cols = patches.transpose(0, 2, 3, 1, 4, 5).reshape(batch, out_h, out_w, channels * kh * kw)
+    return cols, out_h, out_w
+
+
+class Conv2d(Layer):
+    """2-D convolution (valid padding unless ``padding`` is given), stride 1+.
+
+    Input/output layout is ``(batch, channels, height, width)``, matching the
+    PyTorch convention used by the paper's LeNet model.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if kernel_size <= 0 or stride <= 0 or padding < 0:
+            raise ValueError("invalid convolution geometry")
+        rng = rng or np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.params["W"] = he_uniform((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng)
+        self.params["b"] = np.zeros(out_channels, dtype=np.float64)
+        self.grads["W"] = np.zeros_like(self.params["W"])
+        self.grads["b"] = np.zeros_like(self.params["b"])
+        self._cols: np.ndarray | None = None
+        self._x_shape: tuple[int, ...] | None = None
+
+    def _pad(self, x: np.ndarray) -> np.ndarray:
+        if self.padding == 0:
+            return x
+        pad = self.padding
+        return np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2d expected (batch, {self.in_channels}, H, W), got {x.shape}"
+            )
+        xp = self._pad(x)
+        self._x_shape = xp.shape
+        k = self.kernel_size
+        cols, out_h, out_w = _im2col(xp, k, k, self.stride)
+        self._cols = cols
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        out = cols @ w_mat.T + self.params["b"]
+        return out.transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, _, out_h, out_w = grad_out.shape
+        k = self.kernel_size
+        grad = grad_out.transpose(0, 2, 3, 1)
+        cols_2d = self._cols.reshape(-1, self._cols.shape[-1])
+        grad_2d = grad.reshape(-1, self.out_channels)
+        self.grads["W"] += (grad_2d.T @ cols_2d).reshape(self.params["W"].shape)
+        self.grads["b"] += grad_2d.sum(axis=0)
+
+        w_mat = self.params["W"].reshape(self.out_channels, -1)
+        grad_cols = grad_2d @ w_mat
+        grad_cols = grad_cols.reshape(batch, out_h, out_w, self.in_channels, k, k)
+
+        grad_x = np.zeros(self._x_shape, dtype=np.float64)
+        stride = self.stride
+        for i in range(out_h):
+            hi = i * stride
+            for j in range(out_w):
+                wj = j * stride
+                grad_x[:, :, hi : hi + k, wj : wj + k] += grad_cols[:, i, j]
+        if self.padding:
+            pad = self.padding
+            grad_x = grad_x[:, :, pad:-pad, pad:-pad]
+        return grad_x
+
+
+class MaxPool2d(Layer):
+    """Max pooling with square window and matching stride."""
+
+    def __init__(self, kernel_size: int) -> None:
+        super().__init__()
+        if kernel_size <= 0:
+            raise ValueError("pool size must be positive")
+        self.kernel_size = kernel_size
+        self._x: np.ndarray | None = None
+        self._argmax: np.ndarray | None = None
+        self._out_shape: tuple[int, ...] | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        k = self.kernel_size
+        batch, channels, height, width = x.shape
+        if height % k or width % k:
+            raise ValueError("MaxPool2d requires spatial dims divisible by kernel_size")
+        self._x = x
+        out_h, out_w = height // k, width // k
+        windows = x.reshape(batch, channels, out_h, k, out_w, k).transpose(0, 1, 2, 4, 3, 5)
+        windows = windows.reshape(batch, channels, out_h, out_w, k * k)
+        self._argmax = windows.argmax(axis=-1)
+        self._out_shape = (batch, channels, out_h, out_w)
+        return windows.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None or self._argmax is None or self._out_shape is None:
+            raise RuntimeError("backward called before forward")
+        k = self.kernel_size
+        batch, channels, out_h, out_w = self._out_shape
+        grad_windows = np.zeros((batch, channels, out_h, out_w, k * k), dtype=np.float64)
+        idx = np.indices((batch, channels, out_h, out_w))
+        grad_windows[idx[0], idx[1], idx[2], idx[3], self._argmax] = grad_out
+        grad_windows = grad_windows.reshape(batch, channels, out_h, out_w, k, k)
+        grad_x = grad_windows.transpose(0, 1, 2, 4, 3, 5).reshape(self._x.shape)
+        return grad_x

@@ -1,0 +1,70 @@
+"""Loss functions.
+
+Both losses expose ``forward(logits, targets)`` returning a scalar and
+``backward()`` returning the gradient with respect to the logits (already
+averaged over the batch), matching the convention used by the training loops
+in :mod:`repro.federated`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Combined softmax + cross-entropy loss with integer class targets."""
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        if logits.ndim != 2:
+            raise ValueError("logits must be (batch, num_classes)")
+        if targets.ndim != 1 or targets.shape[0] != logits.shape[0]:
+            raise ValueError("targets must be (batch,) integer labels")
+        probs = softmax(logits)
+        self._probs = probs
+        self._targets = targets.astype(np.int64)
+        batch = logits.shape[0]
+        picked = probs[np.arange(batch), self._targets]
+        return float(-np.log(np.clip(picked, 1e-12, None)).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._targets] -= 1.0
+        return grad / batch
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(logits, targets)
+
+
+class MSELoss:
+    """Mean squared error; used by the knowledge-distillation step in MetaFed."""
+
+    def __init__(self) -> None:
+        self._diff: np.ndarray | None = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        if predictions.shape != targets.shape:
+            raise ValueError("predictions and targets must have identical shapes")
+        self._diff = predictions - targets
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)

@@ -1,0 +1,168 @@
+"""Model containers and factories for the architectures used in the paper.
+
+The paper (Section V, Supplementary E) uses:
+
+* a LeNet-based network (two convolution + two fully connected layers) for
+  the FEMNIST image task — reproduced by :func:`make_lenet`;
+* a two-layer fully connected task head on top of frozen BERT features for
+  the Sentiment text task — reproduced by :func:`make_text_head`;
+* plain MLPs for ablations and quick experiments — :func:`make_mlp`.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.nn.layers import Conv2d, Dropout, Flatten, Layer, Linear, MaxPool2d, ReLU
+from repro.nn.losses import softmax
+
+
+class Sequential:
+    """Ordered container of layers with whole-model forward/backward.
+
+    The container also implements the parameter-introspection protocol used by
+    :mod:`repro.nn.serialization` (``named_parameters`` / ``named_gradients``)
+    and convenience prediction helpers used by the metrics code.
+    """
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def named_parameters(self) -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(name, array)`` pairs in a deterministic order."""
+        for idx, layer in enumerate(self.layers):
+            for name in sorted(layer.params):
+                yield f"layer{idx}.{name}", layer.params[name]
+
+    def named_gradients(self) -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(name, gradient array)`` pairs aligned with parameters."""
+        for idx, layer in enumerate(self.layers):
+            for name in sorted(layer.grads):
+                yield f"layer{idx}.{name}", layer.grads[name]
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities for a batch of inputs (evaluation mode)."""
+        return softmax(self.forward(x, training=False))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions for a batch of inputs."""
+        return self.forward(x, training=False).argmax(axis=-1)
+
+    def clone(self) -> "Sequential":
+        """Deep copy of the model (parameters included, caches discarded)."""
+        return copy.deepcopy(self)
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+def make_mlp(
+    in_features: int,
+    hidden: tuple[int, ...],
+    num_classes: int,
+    seed: int = 0,
+    dropout: float = 0.0,
+) -> Sequential:
+    """Multi-layer perceptron with ReLU activations.
+
+    Parameters
+    ----------
+    in_features:
+        Input feature dimension.
+    hidden:
+        Sizes of the hidden layers; may be empty for a linear classifier.
+    num_classes:
+        Output dimension (logits).
+    seed:
+        Seed for weight initialisation; the same seed yields byte-identical
+        models, which federated learning relies on for a shared ``θ¹``.
+    dropout:
+        Optional dropout probability applied after each hidden activation.
+    """
+    rng = np.random.default_rng(seed)
+    layers: list[Layer] = []
+    prev = in_features
+    for width in hidden:
+        layers.append(Linear(prev, width, rng=rng))
+        layers.append(ReLU())
+        if dropout > 0.0:
+            layers.append(Dropout(dropout, rng=np.random.default_rng(seed + 1)))
+        prev = width
+    layers.append(Linear(prev, num_classes, rng=rng))
+    return Sequential(layers)
+
+
+def make_lenet(
+    image_size: int = 16,
+    in_channels: int = 1,
+    num_classes: int = 10,
+    conv_channels: tuple[int, int] = (6, 16),
+    fc_width: int = 64,
+    seed: int = 0,
+) -> Sequential:
+    """LeNet-style CNN: two conv+pool blocks followed by two dense layers.
+
+    The default geometry is sized for the synthetic FEMNIST-like images used
+    in this reproduction (``image_size`` × ``image_size`` single-channel),
+    mirroring the paper's "LeNet-based network with two convolution and two
+    fully connected layers".
+    """
+    if image_size % 4 != 0:
+        raise ValueError("image_size must be divisible by 4 for the two pooling stages")
+    rng = np.random.default_rng(seed)
+    c1, c2 = conv_channels
+    layers: list[Layer] = [
+        Conv2d(in_channels, c1, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(c1, c2, kernel_size=3, padding=1, rng=rng),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(c2 * (image_size // 4) ** 2, fc_width, rng=rng),
+        ReLU(),
+        Linear(fc_width, num_classes, rng=rng),
+    ]
+    return Sequential(layers)
+
+
+def make_text_head(
+    embedding_dim: int = 32,
+    hidden: int = 64,
+    num_classes: int = 2,
+    seed: int = 0,
+) -> Sequential:
+    """Two-layer fully connected task head over frozen text embeddings.
+
+    Stands in for the paper's "BERT tokenizer with a two-layer fully connected
+    task head": the encoder is frozen in the paper, so federated training only
+    updates this head.
+    """
+    rng = np.random.default_rng(seed)
+    layers: list[Layer] = [
+        Linear(embedding_dim, hidden, rng=rng),
+        ReLU(),
+        Linear(hidden, num_classes, rng=rng),
+    ]
+    return Sequential(layers)

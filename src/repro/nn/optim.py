@@ -1,0 +1,55 @@
+"""Optimisers for local client training.
+
+The paper uses SGD with learning rate 0.01 (global) and 0.001 (local models);
+this module provides SGD with optional momentum and weight decay, operating on
+any model exposing ``named_parameters`` / ``named_gradients``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        model,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        if weight_decay < 0.0:
+            raise ValueError("weight decay must be non-negative")
+        self.model = model
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[str, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update using the gradients accumulated on the model."""
+        grads = dict(self.model.named_gradients())
+        for name, param in self.model.named_parameters():
+            grad = grads[name]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param
+            if self.momentum:
+                vel = self._velocity.get(name)
+                if vel is None:
+                    vel = np.zeros_like(param)
+                vel = self.momentum * vel + grad
+                self._velocity[name] = vel
+                update = vel
+            else:
+                update = grad
+            param -= self.lr * update
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients on the underlying model."""
+        self.model.zero_grad()

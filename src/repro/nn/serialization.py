@@ -1,0 +1,54 @@
+"""Flattening model parameters to/from a single vector.
+
+Federated learning, the CollaPois attack, and every robust-aggregation defense
+in this library operate on *flat parameter vectors*: a client update is
+``Δθ = flatten(local model) − flatten(global model)``.  These helpers define
+that canonical ordering (layer order, then parameter-name order within each
+layer) and guarantee that ``unflatten_params(model, flatten_params(model))``
+is the identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def flatten_params(model) -> np.ndarray:
+    """Concatenate every trainable parameter of ``model`` into one 1-D vector."""
+    chunks = [param.ravel() for _, param in model.named_parameters()]
+    if not chunks:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(chunks).astype(np.float64)
+
+
+def unflatten_params(model, vector: np.ndarray) -> None:
+    """Write ``vector`` back into the model's parameters in place.
+
+    Raises
+    ------
+    ValueError
+        If the vector length does not match the model's parameter count.
+    """
+    expected = parameter_count(model)
+    if vector.ndim != 1 or vector.shape[0] != expected:
+        raise ValueError(
+            f"parameter vector has length {vector.shape}, model expects ({expected},)"
+        )
+    offset = 0
+    for _, param in model.named_parameters():
+        size = param.size
+        param[...] = vector[offset : offset + size].reshape(param.shape)
+        offset += size
+
+
+def parameter_count(model) -> int:
+    """Total number of trainable scalars in ``model``."""
+    return int(sum(param.size for _, param in model.named_parameters()))
+
+
+def flatten_grads(model) -> np.ndarray:
+    """Concatenate every parameter gradient of ``model`` into one 1-D vector."""
+    chunks = [grad.ravel() for _, grad in model.named_gradients()]
+    if not chunks:
+        return np.zeros(0, dtype=np.float64)
+    return np.concatenate(chunks).astype(np.float64)

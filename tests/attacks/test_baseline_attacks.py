@@ -1,0 +1,155 @@
+"""Unit tests for the baseline attacks (DPois, MRepl, DBA)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackContext, BackdoorAttack
+from repro.attacks.dba import DBAAttack
+from repro.attacks.dpois import DPoisAttack
+from repro.attacks.mrepl import MReplAttack
+from repro.attacks.triggers import PixelPatchTrigger
+from repro.federated.client import LocalTrainingConfig
+from repro.nn.serialization import flatten_params
+
+
+@pytest.fixture()
+def trigger(femnist_generator):
+    return PixelPatchTrigger(image_size=femnist_generator.image_size, patch_size=2)
+
+
+@pytest.fixture()
+def local_config():
+    return LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05)
+
+
+def _setup(attack, federation, factory, trigger, local_config, compromised=(0, 1)):
+    attack.setup(federation, list(compromised), factory, trigger, target_class=0,
+                 local_config=local_config, seed=0)
+    return attack
+
+
+class TestAttackContext:
+    def test_requires_compromised_clients(self, small_federation, trigger, local_config):
+        with pytest.raises(ValueError):
+            AttackContext(small_federation, [], trigger, 0, local_config)
+
+    def test_target_class_validated(self, small_federation, trigger, local_config):
+        with pytest.raises(ValueError):
+            AttackContext(small_federation, [0], trigger, 99, local_config)
+
+    def test_base_attack_requires_setup(self):
+        attack = BackdoorAttack()
+        with pytest.raises(RuntimeError):
+            attack._require_context()
+
+
+class TestDPois:
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            DPoisAttack(poison_fraction=0.0)
+
+    def test_poisoned_datasets_are_larger_than_clean(
+        self, small_federation, image_model_factory, trigger, local_config
+    ):
+        attack = _setup(DPoisAttack(), small_federation, image_model_factory, trigger, local_config)
+        for client_id in (0, 1):
+            clean = small_federation.client(client_id).train
+            assert len(attack._poisoned_data[client_id]) > len(clean)
+
+    def test_update_shape_and_nonzero(
+        self, small_federation, image_model_factory, trigger, local_config, rng
+    ):
+        attack = _setup(DPoisAttack(), small_federation, image_model_factory, trigger, local_config)
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        update = attack.compute_update(0, global_params, 0, model, rng)
+        assert update.shape == global_params.shape
+        assert np.abs(update).sum() > 0
+
+    def test_non_compromised_client_rejected(
+        self, small_federation, image_model_factory, trigger, local_config, rng
+    ):
+        attack = _setup(DPoisAttack(), small_federation, image_model_factory, trigger, local_config)
+        model = image_model_factory()
+        with pytest.raises(KeyError):
+            attack.compute_update(5, flatten_params(model), 0, model, rng)
+
+
+class TestMRepl:
+    def test_trains_trojan_model(self, small_federation, image_model_factory, trigger, local_config):
+        attack = _setup(MReplAttack(trojan_epochs=3), small_federation, image_model_factory,
+                        trigger, local_config)
+        assert attack.trojan_params is not None
+        assert attack.trojan_params.shape == flatten_params(image_model_factory()).shape
+
+    def test_boosted_update_points_at_trojan(
+        self, small_federation, image_model_factory, trigger, local_config, rng
+    ):
+        attack = _setup(MReplAttack(boost_factor=4.0, trojan_epochs=3), small_federation,
+                        image_model_factory, trigger, local_config)
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        update = attack.compute_update(0, global_params, 0, model, rng)
+        np.testing.assert_allclose(update, 4.0 * (attack.trojan_params - global_params))
+
+    def test_single_shot_budget(self, small_federation, image_model_factory, trigger,
+                                local_config, rng):
+        attack = _setup(MReplAttack(boost_factor=2.0, trojan_epochs=3, num_shots=1),
+                        small_federation, image_model_factory, trigger, local_config)
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        first = attack.compute_update(0, global_params, 0, model, rng)
+        assert np.abs(first).sum() > 0
+        # Same round: still attacking; later round: budget spent.
+        same_round = attack.compute_update(1, global_params, 0, model, rng)
+        assert np.abs(same_round).sum() > 0
+        later = attack.compute_update(0, global_params, 3, model, rng)
+        assert np.allclose(later, 0.0)
+
+    def test_waits_until_attack_round(self, small_federation, image_model_factory, trigger,
+                                      local_config, rng):
+        attack = _setup(MReplAttack(boost_factor=2.0, trojan_epochs=3, attack_round=5),
+                        small_federation, image_model_factory, trigger, local_config)
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        assert np.allclose(attack.compute_update(0, global_params, 0, model, rng), 0.0)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            MReplAttack(boost_factor=0.0)
+        with pytest.raises(ValueError):
+            MReplAttack(num_shots=0)
+
+
+class TestDBA:
+    def test_sub_triggers_partition_patch(self, small_federation, image_model_factory,
+                                          trigger, local_config):
+        attack = _setup(DBAAttack(num_parts=2), small_federation, image_model_factory,
+                        trigger, local_config, compromised=(0, 1))
+        masks = [attack._sub_triggers[c].mask for c in (0, 1)]
+        combined = masks[0].astype(int) + masks[1].astype(int)
+        np.testing.assert_array_equal(combined, trigger.mask.astype(int))
+
+    def test_update_nonzero(self, small_federation, image_model_factory, trigger,
+                            local_config, rng):
+        attack = _setup(DBAAttack(), small_federation, image_model_factory, trigger, local_config)
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        update = attack.compute_update(1, global_params, 0, model, rng)
+        assert np.abs(update).sum() > 0
+
+    def test_non_patch_trigger_falls_back_to_full_trigger(
+        self, small_federation, image_model_factory, local_config
+    ):
+        from repro.attacks.triggers import WarpingTrigger
+
+        warping = WarpingTrigger(image_size=12, strength=1.0)
+        attack = _setup(DBAAttack(num_parts=2), small_federation, image_model_factory,
+                        warping, local_config)
+        assert attack._sub_triggers[0] is warping
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            DBAAttack(poison_fraction=1.5)

@@ -1,0 +1,162 @@
+"""Unit and property-based tests for the trigger library."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.attacks.triggers import (
+    PixelPatchTrigger,
+    TokenTrigger,
+    WarpingTrigger,
+    poison_dataset,
+)
+from repro.data.dataset import Dataset
+
+
+class TestWarpingTrigger:
+    def test_output_shape_preserved(self, rng):
+        trigger = WarpingTrigger(image_size=12, strength=1.0)
+        x = rng.random((3, 1, 12, 12))
+        assert trigger.apply(x).shape == x.shape
+
+    def test_is_deterministic(self, rng):
+        trigger = WarpingTrigger(image_size=12, strength=1.0, seed=5)
+        x = rng.random((2, 1, 12, 12))
+        np.testing.assert_allclose(trigger.apply(x), trigger.apply(x))
+
+    def test_same_seed_same_field(self, rng):
+        a = WarpingTrigger(image_size=12, strength=1.0, seed=3)
+        b = WarpingTrigger(image_size=12, strength=1.0, seed=3)
+        np.testing.assert_allclose(a.displacement, b.displacement)
+
+    def test_modification_is_small_but_nonzero(self, rng):
+        trigger = WarpingTrigger(image_size=12, strength=0.5)
+        x = rng.random((4, 1, 12, 12))
+        out = trigger.apply(x)
+        diff = np.abs(out - x).mean()
+        assert 0.0 < diff < 0.3
+
+    def test_zero_strength_is_identity(self, rng):
+        trigger = WarpingTrigger(image_size=12, strength=0.0)
+        x = rng.random((2, 1, 12, 12))
+        np.testing.assert_allclose(trigger.apply(x), x, atol=1e-12)
+
+    def test_does_not_modify_input(self, rng):
+        trigger = WarpingTrigger(image_size=12, strength=1.0)
+        x = rng.random((2, 1, 12, 12))
+        snapshot = x.copy()
+        trigger.apply(x)
+        np.testing.assert_allclose(x, snapshot)
+
+    def test_size_mismatch_raises(self, rng):
+        trigger = WarpingTrigger(image_size=12)
+        with pytest.raises(ValueError):
+            trigger.apply(rng.random((1, 1, 16, 16)))
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            WarpingTrigger(image_size=2)
+        with pytest.raises(ValueError):
+            WarpingTrigger(image_size=12, strength=-1.0)
+
+
+class TestPixelPatchTrigger:
+    def test_patch_sets_corner_pixels(self):
+        trigger = PixelPatchTrigger(image_size=8, patch_size=2, value=1.0, corner="top-left")
+        x = np.zeros((1, 1, 8, 8))
+        out = trigger.apply(x)
+        assert out[0, 0, :2, :2].min() == 1.0
+        assert out[0, 0, 2:, 2:].max() == 0.0
+
+    @pytest.mark.parametrize("corner", ["top-left", "top-right", "bottom-left", "bottom-right"])
+    def test_all_corners_modify_expected_number_of_pixels(self, corner):
+        trigger = PixelPatchTrigger(image_size=8, patch_size=3, corner=corner)
+        x = np.zeros((1, 1, 8, 8))
+        assert trigger.apply(x).sum() == 9.0
+
+    def test_split_partitions_mask(self):
+        trigger = PixelPatchTrigger(image_size=8, patch_size=2)
+        parts = trigger.split(4)
+        assert len(parts) == 4
+        combined = np.zeros((2, 2), dtype=int)
+        for part in parts:
+            combined += part.mask.astype(int)
+        np.testing.assert_array_equal(combined, np.ones((2, 2), dtype=int))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            PixelPatchTrigger(image_size=8, patch_size=0)
+        with pytest.raises(ValueError):
+            PixelPatchTrigger(image_size=8, patch_size=2, corner="middle")
+        with pytest.raises(ValueError):
+            PixelPatchTrigger(image_size=8, patch_size=2, mask=np.ones((3, 3), dtype=bool))
+
+
+class TestTokenTrigger:
+    def test_adds_embedding(self, rng):
+        embedding = rng.normal(size=6)
+        trigger = TokenTrigger(embedding, scale=2.0)
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(trigger.apply(x), x + 2.0 * embedding)
+
+    def test_dimension_mismatch_raises(self, rng):
+        trigger = TokenTrigger(rng.normal(size=6))
+        with pytest.raises(ValueError):
+            trigger.apply(rng.normal(size=(2, 5)))
+
+    def test_requires_1d_embedding(self, rng):
+        with pytest.raises(ValueError):
+            TokenTrigger(rng.normal(size=(2, 3)))
+
+
+class TestPoisonDataset:
+    def _clean(self, n=10, rng=None):
+        rng = rng or np.random.default_rng(0)
+        return Dataset(rng.random((n, 1, 8, 8)), rng.integers(1, 4, size=n))
+
+    def test_keep_clean_appends_poisoned_samples(self, rng):
+        data = self._clean(10, rng)
+        trigger = PixelPatchTrigger(image_size=8, patch_size=2)
+        poisoned = poison_dataset(data, trigger, target_class=0, poison_fraction=0.5, rng=rng)
+        assert len(poisoned) == 15
+        assert (poisoned.y[-5:] == 0).all()
+
+    def test_without_clean_keeps_only_poisoned(self, rng):
+        data = self._clean(10, rng)
+        trigger = PixelPatchTrigger(image_size=8, patch_size=2)
+        poisoned = poison_dataset(
+            data, trigger, target_class=0, poison_fraction=1.0, rng=rng, keep_clean=False
+        )
+        assert len(poisoned) == 10
+        assert (poisoned.y == 0).all()
+
+    def test_empty_dataset_passthrough(self, rng):
+        empty = Dataset(np.zeros((0, 1, 8, 8)), np.zeros(0, dtype=np.int64))
+        trigger = PixelPatchTrigger(image_size=8, patch_size=2)
+        assert len(poison_dataset(empty, trigger, 0)) == 0
+
+    def test_invalid_fraction(self, rng):
+        data = self._clean(4, rng)
+        trigger = PixelPatchTrigger(image_size=8, patch_size=2)
+        with pytest.raises(ValueError):
+            poison_dataset(data, trigger, 0, poison_fraction=0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        fraction=st.floats(min_value=0.1, max_value=1.0, allow_nan=False),
+        n=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    def test_poisoned_count_property(self, fraction, n, seed):
+        """The poisoned set always contains round(fraction·n) ≥ 1 triggered samples."""
+        rng = np.random.default_rng(seed)
+        data = Dataset(rng.random((n, 1, 8, 8)), rng.integers(0, 3, size=n))
+        trigger = PixelPatchTrigger(image_size=8, patch_size=2)
+        poisoned = poison_dataset(data, trigger, target_class=1,
+                                  poison_fraction=fraction, rng=rng)
+        expected = max(1, int(round(fraction * n)))
+        assert len(poisoned) == n + expected
+        assert (poisoned.y[n:] == 1).all()

@@ -1,0 +1,116 @@
+"""Unit tests for the CollaPois attack mechanics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.triggers import PixelPatchTrigger
+from repro.core.collapois import CollaPoisAttack
+from repro.core.stealth import StealthConfig
+from repro.federated.client import LocalTrainingConfig
+from repro.nn.serialization import flatten_params
+
+
+@pytest.fixture()
+def configured_attack(small_federation, image_model_factory):
+    attack = CollaPoisAttack(
+        stealth=StealthConfig(psi_low=0.9, psi_high=1.0),
+        trojan_epochs=4,
+    )
+    trigger = PixelPatchTrigger(image_size=12, patch_size=2)
+    attack.setup(
+        small_federation, [0, 1], image_model_factory, trigger, target_class=0,
+        local_config=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05), seed=0,
+    )
+    return attack
+
+
+class TestCollaPoisConstruction:
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            CollaPoisAttack(poison_fraction=0.0)
+        with pytest.raises(ValueError):
+            CollaPoisAttack(trojan_epochs=0)
+        with pytest.raises(ValueError):
+            CollaPoisAttack(aux_source="bogus")
+
+    def test_compute_before_setup_raises(self, image_model_factory, rng):
+        attack = CollaPoisAttack()
+        model = image_model_factory()
+        with pytest.raises(RuntimeError):
+            attack.compute_update(0, flatten_params(model), 0, model, rng)
+
+
+class TestMaliciousUpdate:
+    def test_update_follows_psi_times_direction(self, configured_attack, image_model_factory, rng):
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        update = configured_attack.compute_update(0, global_params, 0, model, rng)
+        direction = configured_attack.trojan_params - global_params
+        # The update must be a positive scalar multiple of (X − θ) with the
+        # scalar inside [a, b].
+        ratios = update[np.abs(direction) > 1e-9] / direction[np.abs(direction) > 1e-9]
+        assert ratios.std() < 1e-9
+        assert 0.9 <= ratios.mean() <= 1.0
+
+    def test_psi_is_recorded_per_call(self, configured_attack, image_model_factory, rng):
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        configured_attack.compute_update(0, global_params, 3, model, rng)
+        configured_attack.compute_update(1, global_params, 3, model, rng)
+        rounds = [entry[0] for entry in configured_attack.psi_history]
+        assert rounds[-2:] == [3, 3]
+
+    def test_all_compromised_clients_share_the_same_trojan(self, configured_attack,
+                                                           image_model_factory, rng):
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        a = configured_attack.compute_update(0, global_params, 0, model, np.random.default_rng(1))
+        b = configured_attack.compute_update(1, global_params, 0, model, np.random.default_rng(2))
+        # Updates differ only by the scalar ψ — their directions coincide.
+        cos = np.dot(a, b) / (np.linalg.norm(a) * np.linalg.norm(b))
+        assert cos == pytest.approx(1.0, abs=1e-9)
+
+    def test_clipping_limits_norm(self, small_federation, image_model_factory, rng):
+        attack = CollaPoisAttack(
+            stealth=StealthConfig(psi_low=0.9, psi_high=1.0, clip_bound=0.1),
+            trojan_epochs=3,
+        )
+        trigger = PixelPatchTrigger(image_size=12, patch_size=2)
+        attack.setup(small_federation, [0], image_model_factory, trigger, 0, seed=0)
+        model = image_model_factory()
+        update = attack.compute_update(0, flatten_params(image_model_factory()), 0, model, rng)
+        assert np.linalg.norm(update) <= 0.1 + 1e-9
+
+    def test_min_norm_upscaling(self, small_federation, image_model_factory, rng):
+        attack = CollaPoisAttack(
+            stealth=StealthConfig(psi_low=0.9, psi_high=1.0, min_update_norm=1e3),
+            trojan_epochs=3,
+        )
+        trigger = PixelPatchTrigger(image_size=12, patch_size=2)
+        attack.setup(small_federation, [0], image_model_factory, trigger, 0, seed=0)
+        model = image_model_factory()
+        update = attack.compute_update(0, flatten_params(image_model_factory()), 0, model, rng)
+        assert np.linalg.norm(update) >= 1e3 - 1e-6
+
+
+class TestDiagnostics:
+    def test_distance_to_trojan(self, configured_attack):
+        at_trojan = configured_attack.distance_to_trojan(configured_attack.trojan_params)
+        assert at_trojan == pytest.approx(0.0)
+        away = configured_attack.distance_to_trojan(configured_attack.trojan_params + 1.0)
+        assert away > 0.0
+
+    def test_surrogate_loss_minimised_at_trojan(self, configured_attack):
+        at_trojan = configured_attack.surrogate_loss(configured_attack.trojan_params)
+        away = configured_attack.surrogate_loss(configured_attack.trojan_params + 0.5)
+        assert at_trojan == pytest.approx(0.0)
+        assert away > at_trojan
+
+    def test_surrogate_loss_includes_benign_term(self, configured_attack):
+        theta = configured_attack.trojan_params
+        personal = np.stack([theta + 1.0, theta - 1.0])
+        without = configured_attack.surrogate_loss(theta)
+        with_benign = configured_attack.surrogate_loss(theta, personal)
+        assert with_benign > without

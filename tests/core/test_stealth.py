@@ -1,0 +1,91 @@
+"""Unit tests for the stealth machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stealth import StealthConfig, blend_statistics, clip_update, upscale_update
+
+
+class TestStealthConfig:
+    def test_defaults_are_valid(self):
+        config = StealthConfig()
+        assert 0 < config.psi_low < config.psi_high <= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"psi_low": 0.0, "psi_high": 0.5},
+            {"psi_low": 0.9, "psi_high": 0.8},
+            {"psi_low": 0.5, "psi_high": 1.5},
+            {"clip_bound": 0.0},
+            {"min_update_norm": -1.0},
+        ],
+    )
+    def test_invalid_values(self, kwargs):
+        with pytest.raises(ValueError):
+            StealthConfig(**kwargs)
+
+    def test_sample_psi_in_range(self, rng):
+        config = StealthConfig(psi_low=0.4, psi_high=0.6)
+        samples = [config.sample_psi(rng) for _ in range(200)]
+        assert min(samples) >= 0.4 and max(samples) <= 0.6
+        assert np.std(samples) > 0.0
+
+
+class TestClipAndUpscale:
+    def test_clip_reduces_large_updates(self, rng):
+        update = rng.normal(size=50) * 10
+        clipped = clip_update(update, bound=1.0)
+        assert np.linalg.norm(clipped) == pytest.approx(1.0)
+
+    def test_clip_keeps_small_updates(self, rng):
+        update = rng.normal(size=50) * 1e-3
+        np.testing.assert_allclose(clip_update(update, bound=1.0), update)
+
+    def test_clip_invalid_bound(self, rng):
+        with pytest.raises(ValueError):
+            clip_update(rng.normal(size=5), bound=0.0)
+
+    def test_upscale_enlarges_small_updates(self, rng):
+        update = rng.normal(size=50)
+        update = update / np.linalg.norm(update) * 0.01
+        scaled = upscale_update(update, min_norm=2.0)
+        assert np.linalg.norm(scaled) == pytest.approx(2.0)
+
+    def test_upscale_leaves_large_updates(self, rng):
+        update = rng.normal(size=50) * 10
+        np.testing.assert_allclose(upscale_update(update, min_norm=1.0), update)
+
+    def test_zero_update_untouched(self):
+        zero = np.zeros(10)
+        np.testing.assert_allclose(clip_update(zero, 1.0), zero)
+        np.testing.assert_allclose(upscale_update(zero, 1.0), zero)
+
+
+class TestBlendStatistics:
+    def test_keys_present(self, rng):
+        malicious = rng.normal(size=(3, 20))
+        benign = rng.normal(size=(5, 20))
+        stats = blend_statistics(malicious, benign)
+        for key in (
+            "malicious_angle_mean",
+            "malicious_angle_std",
+            "benign_angle_mean",
+            "benign_angle_std",
+            "malicious_norm_mean",
+            "benign_norm_mean",
+        ):
+            assert key in stats
+
+    def test_identical_groups_have_matching_norms(self, rng):
+        group = rng.normal(size=(4, 10))
+        stats = blend_statistics(group, group)
+        assert stats["malicious_norm_mean"] == pytest.approx(stats["benign_norm_mean"])
+
+    def test_aligned_malicious_updates_have_small_angles_to_themselves(self, rng):
+        base = rng.normal(size=20)
+        malicious = np.stack([base * s for s in (0.9, 0.95, 1.0)])
+        stats = blend_statistics(malicious, malicious)
+        assert stats["malicious_angle_mean"] == pytest.approx(0.0, abs=1e-6)

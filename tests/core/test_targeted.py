@@ -1,0 +1,99 @@
+"""Unit tests for the targeted / semi-ready CollaPois variant (Section VI)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.triggers import PixelPatchTrigger
+from repro.core.targeted import TargetedCollaPois
+from repro.federated.client import LocalTrainingConfig
+from repro.metrics.similarity import cumulative_label_cosine
+from repro.nn.serialization import flatten_params
+
+
+@pytest.fixture()
+def targeted_attack(small_federation, image_model_factory):
+    attack = TargetedCollaPois(warmup_rounds=2, trojan_epochs=3, high_value_fraction=0.25)
+    trigger = PixelPatchTrigger(image_size=12, patch_size=2)
+    attack.setup(
+        small_federation, [0, 1], image_model_factory, trigger, target_class=0,
+        local_config=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05), seed=0,
+    )
+    return attack
+
+
+class TestConstruction:
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            TargetedCollaPois(warmup_rounds=-1)
+        with pytest.raises(ValueError):
+            TargetedCollaPois(high_value_fraction=0.0)
+
+
+class TestHighValueClients:
+    def test_excludes_compromised_and_respects_fraction(self, targeted_attack, small_federation):
+        targets = targeted_attack.high_value_clients()
+        assert targets
+        assert not set(targets) & {0, 1}
+        benign_count = small_federation.num_clients - 2
+        assert len(targets) == max(1, round(0.25 * benign_count))
+
+    def test_targets_are_the_most_similar_clients(self, targeted_attack, small_federation):
+        targets = targeted_attack.high_value_clients()
+        aux = small_federation.auxiliary_class_counts([0, 1], source="all")
+        benign = [c for c in range(small_federation.num_clients) if c not in {0, 1}]
+        sims = {
+            c: cumulative_label_cosine(small_federation.client(c).class_counts, aux)
+            for c in benign
+        }
+        worst_target = min(sims[c] for c in targets)
+        best_non_target = max(sims[c] for c in benign if c not in targets)
+        assert worst_target >= best_non_target - 1e-9
+
+
+class TestDormantPhaseAndActivation:
+    def test_warmup_updates_look_benign(self, targeted_attack, image_model_factory, rng):
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        update = targeted_attack.compute_update(0, global_params, 0, model, rng)
+        # During warm-up the update is an honest local-training update, not a
+        # scalar multiple of (X - theta).
+        direction = targeted_attack.trojan_params - global_params
+        cos = np.dot(update, direction) / (
+            np.linalg.norm(update) * np.linalg.norm(direction) + 1e-12
+        )
+        assert cos < 0.99
+        assert targeted_attack.activated_round is None
+
+    def test_activation_refreshes_trojan_near_global(self, targeted_attack, image_model_factory, rng):
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        original_trojan = targeted_attack.trojan_params.copy()
+        update = targeted_attack.compute_update(0, global_params, 3, model, rng)
+        assert targeted_attack.activated_round == 3
+        refreshed = targeted_attack.trojan_params
+        # The semi-ready Trojaned model is re-trained at activation time and
+        # therefore differs from the cold-start X prepared in setup().
+        assert not np.allclose(refreshed, original_trojan)
+        # The update is again a psi-scaled pull toward the refreshed X.
+        direction = refreshed - global_params
+        ratios = update[np.abs(direction) > 1e-9] / direction[np.abs(direction) > 1e-9]
+        assert ratios.std() < 1e-9
+
+    def test_activation_happens_once(self, targeted_attack, image_model_factory, rng):
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        targeted_attack.compute_update(0, global_params, 2, model, rng)
+        first_activation = targeted_attack.activated_round
+        targeted_attack.compute_update(1, global_params, 5, model, rng)
+        assert targeted_attack.activated_round == first_activation
+
+    def test_no_refresh_keeps_original_trojan(self, small_federation, image_model_factory, rng):
+        attack = TargetedCollaPois(warmup_rounds=1, refresh_trojan=False, trojan_epochs=3)
+        trigger = PixelPatchTrigger(image_size=12, patch_size=2)
+        attack.setup(small_federation, [0], image_model_factory, trigger, 0, seed=0)
+        original = attack.trojan_params.copy()
+        model = image_model_factory()
+        attack.compute_update(0, flatten_params(image_model_factory()), 4, model, rng)
+        np.testing.assert_allclose(attack.trojan_params, original)

@@ -1,0 +1,158 @@
+"""Unit and property-based tests for the Theorem 1–3 bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.theory import (
+    approximate_lower_bound,
+    compromised_fraction_surface,
+    convergence_bound,
+    estimation_error_bounds,
+    exact_lower_bound_from_angles,
+    expected_angle_statistics,
+    min_compromised_clients,
+)
+
+
+class TestTheorem1:
+    def test_formula_matches_paper_expression(self):
+        mu, sigma, n, a, b = 0.5, 0.2, 1000, 0.9, 1.0
+        expected = (2 - sigma**2 - mu**2) / (a + b + 2 - sigma**2 - mu**2) * n
+        assert min_compromised_clients(mu, sigma, n, a, b) == pytest.approx(expected)
+
+    def test_more_diversity_needs_fewer_compromised_clients(self):
+        low_div = min_compromised_clients(0.3, 0.1, 1000)
+        high_div = min_compromised_clients(1.0, 0.5, 1000)
+        assert high_div < low_div
+
+    def test_bound_never_exceeds_population(self):
+        assert min_compromised_clients(0.0, 0.0, 100) < 100
+
+    def test_extreme_diversity_drives_bound_to_zero(self):
+        assert min_compromised_clients(1.4, 0.3, 1000) == pytest.approx(0.0, abs=30)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            min_compromised_clients(0.5, 0.1, 0)
+        with pytest.raises(ValueError):
+            min_compromised_clients(0.5, 0.1, 100, psi_low=0.0)
+        with pytest.raises(ValueError):
+            min_compromised_clients(-0.5, 0.1, 100)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        mu=st.floats(min_value=0.0, max_value=1.5, allow_nan=False),
+        sigma=st.floats(min_value=0.0, max_value=0.8, allow_nan=False),
+        n=st.integers(min_value=10, max_value=10_000),
+    )
+    def test_bound_is_always_a_valid_fraction(self, mu, sigma, n):
+        """The bound lies in [0, N] and decreases as diversity increases."""
+        bound = min_compromised_clients(mu, sigma, n)
+        assert 0.0 <= bound <= n
+        more_diverse = min_compromised_clients(min(mu + 0.2, 1.6), sigma, n)
+        assert more_diverse <= bound + 1e-9
+
+
+class TestApproximation:
+    def test_relative_error_is_small_for_gaussian_angles(self, rng):
+        angles = rng.normal(0.6, 0.15, size=500)
+        report = approximate_lower_bound(angles, num_clients=1000)
+        assert report["relative_error"] < 0.05
+
+    def test_exact_bound_requires_angles(self):
+        with pytest.raises(ValueError):
+            exact_lower_bound_from_angles(np.zeros(0), 100)
+
+    def test_more_scatter_gives_larger_relative_error(self, rng):
+        tight = approximate_lower_bound(rng.normal(0.5, 0.05, size=200), 1000)
+        wide = approximate_lower_bound(rng.normal(0.9, 0.4, size=200), 1000)
+        assert wide["relative_error"] >= tight["relative_error"] - 1e-6
+
+
+class TestSurface:
+    def test_surface_shape_and_monotonicity(self):
+        mu = np.linspace(0.0, 1.2, 8)
+        sigma = np.linspace(0.0, 0.6, 5)
+        surface = compromised_fraction_surface(mu, sigma)
+        assert surface.shape == (5, 8)
+        # Larger mu (columns) never increases the required fraction.
+        assert np.all(np.diff(surface, axis=1) <= 1e-12)
+        # Larger sigma (rows) never increases the required fraction.
+        assert np.all(np.diff(surface, axis=0) <= 1e-12)
+        assert surface.max() <= 1.0 and surface.min() >= 0.0
+
+
+class TestTheorem2:
+    def test_bound_formula(self):
+        assert convergence_bound(2.0, psi_low=0.5, residual_norm=0.1) == pytest.approx(2.1)
+
+    def test_psi_one_gives_residual_only(self):
+        assert convergence_bound(5.0, psi_low=1.0, residual_norm=0.2) == pytest.approx(0.2)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            convergence_bound(1.0, psi_low=0.0)
+        with pytest.raises(ValueError):
+            convergence_bound(-1.0, psi_low=0.5)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        norm=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        a=st.floats(min_value=0.05, max_value=1.0, allow_nan=False),
+    )
+    def test_bound_nonnegative_and_decreasing_in_a(self, norm, a):
+        """The Theorem-2 bound is non-negative and shrinks as a → 1."""
+        bound = convergence_bound(norm, psi_low=a)
+        assert bound >= 0.0
+        tighter = convergence_bound(norm, psi_low=min(1.0, a + 0.1))
+        assert tighter <= bound + 1e-9
+
+
+class TestTheorem3:
+    def _setup(self, rng, num_compromised=4, dim=30):
+        trojan = rng.normal(size=dim)
+        client_params = trojan + rng.normal(0, 1.0, size=(8, dim))
+        malicious = np.stack([0.95 * (trojan - rng.normal(size=dim)) for _ in range(num_compromised)])
+        return malicious, client_params, trojan
+
+    def test_lower_bound_below_upper_bound(self, rng):
+        malicious, clients, trojan = self._setup(rng)
+        bounds = estimation_error_bounds(malicious, clients, trojan,
+                                         precision=1.0, num_compromised=4)
+        assert bounds["lower_bound"] >= 0.0
+        assert bounds["upper_bound"] >= 0.0
+
+    def test_lower_precision_increases_lower_bound(self, rng):
+        malicious, clients, trojan = self._setup(rng)
+        high_p = estimation_error_bounds(malicious, clients, trojan, 1.0, 4)
+        low_p = estimation_error_bounds(malicious, clients, trojan, 0.5, 4)
+        assert low_p["lower_bound"] > high_p["lower_bound"]
+
+    def test_smaller_psi_high_increases_lower_bound(self, rng):
+        malicious, clients, trojan = self._setup(rng)
+        large_b = estimation_error_bounds(malicious, clients, trojan, 1.0, 4, psi_high=1.0)
+        small_b = estimation_error_bounds(malicious, clients, trojan, 1.0, 4, psi_high=0.5)
+        assert small_b["lower_bound"] > large_b["lower_bound"]
+
+    def test_invalid_arguments(self, rng):
+        malicious, clients, trojan = self._setup(rng)
+        with pytest.raises(ValueError):
+            estimation_error_bounds(malicious, clients, trojan, 0.0, 4)
+        with pytest.raises(ValueError):
+            estimation_error_bounds(malicious, clients, trojan, 1.0, 0)
+
+
+class TestExpectedAngleStatistics:
+    def test_smaller_alpha_gives_larger_angles(self):
+        mu_small, sigma_small = expected_angle_statistics(0.01)
+        mu_large, sigma_large = expected_angle_statistics(100.0)
+        assert mu_small > mu_large
+        assert sigma_small > sigma_large
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            expected_angle_statistics(0.0)

@@ -1,0 +1,60 @@
+"""Unit tests for Trojaned-model training (Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.triggers import PixelPatchTrigger, poison_dataset
+from repro.core.trojan import train_trojan_model, trojan_model_quality
+from repro.data.dataset import Dataset
+from repro.nn.serialization import flatten_params, parameter_count
+
+
+@pytest.fixture()
+def poisoned_aux(small_federation, rng):
+    aux = small_federation.auxiliary_dataset([0, 1], source="all")
+    trigger = PixelPatchTrigger(image_size=12, patch_size=3)
+    return aux, poison_dataset(aux, trigger, target_class=0, poison_fraction=0.8, rng=rng), trigger
+
+
+class TestTrainTrojanModel:
+    def test_returns_flat_vector_of_right_size(self, image_model_factory, poisoned_aux):
+        _, poisoned, _ = poisoned_aux
+        params = train_trojan_model(image_model_factory, poisoned, epochs=2, lr=0.05, seed=0)
+        assert params.shape == (parameter_count(image_model_factory()),)
+
+    def test_empty_dataset_raises(self, image_model_factory):
+        empty = Dataset(np.zeros((0, 1, 12, 12)), np.zeros(0, dtype=np.int64))
+        with pytest.raises(ValueError):
+            train_trojan_model(image_model_factory, empty)
+
+    def test_invalid_epochs(self, image_model_factory, poisoned_aux):
+        _, poisoned, _ = poisoned_aux
+        with pytest.raises(ValueError):
+            train_trojan_model(image_model_factory, poisoned, epochs=0)
+
+    def test_training_moves_parameters(self, image_model_factory, poisoned_aux):
+        _, poisoned, _ = poisoned_aux
+        init = flatten_params(image_model_factory())
+        trained = train_trojan_model(image_model_factory, poisoned, epochs=2, lr=0.05, seed=0)
+        assert not np.allclose(trained, init)
+
+    def test_warm_start_respected(self, image_model_factory, poisoned_aux):
+        _, poisoned, _ = poisoned_aux
+        warm = np.ones(parameter_count(image_model_factory()))
+        cold = train_trojan_model(image_model_factory, poisoned, epochs=1, lr=0.001, seed=0)
+        warm_trained = train_trojan_model(
+            image_model_factory, poisoned, epochs=1, lr=0.001, seed=0, init_params=warm
+        )
+        # With a tiny learning rate the result stays near its starting point.
+        assert np.linalg.norm(warm_trained - warm) < np.linalg.norm(warm_trained - cold)
+
+    def test_trojan_model_learns_both_tasks(self, image_model_factory, poisoned_aux, rng):
+        clean, poisoned, trigger = poisoned_aux
+        params = train_trojan_model(image_model_factory, poisoned, epochs=25, lr=0.08, seed=0)
+        triggered_x = trigger.apply(clean.x)
+        triggered = Dataset(triggered_x, np.zeros(len(clean), dtype=np.int64))
+        quality = trojan_model_quality(image_model_factory, params, clean, triggered)
+        assert quality["clean_accuracy"] > 0.6
+        assert quality["trojan_accuracy"] > 0.7

@@ -1,0 +1,82 @@
+"""Unit tests for federated dataset assembly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.federated_data import build_federated_dataset
+
+
+class TestBuildFederatedDataset:
+    def test_client_count_and_metadata(self, small_federation):
+        assert small_federation.num_clients == 8
+        assert small_federation.num_classes == 5
+        assert small_federation.alpha == 0.3
+        assert small_federation.input_shape == (1, 12, 12)
+
+    def test_every_client_has_all_three_splits(self, small_federation):
+        for client in small_federation.clients:
+            assert len(client.train) > 0
+            assert client.num_samples == len(client.train) + len(client.test) + len(client.val)
+
+    def test_class_counts_match_generated_labels(self, small_federation):
+        for client in small_federation.clients:
+            labels = np.concatenate([client.train.y, client.test.y, client.val.y])
+            observed = np.bincount(labels, minlength=small_federation.num_classes)
+            np.testing.assert_array_equal(observed, client.class_counts)
+
+    def test_auxiliary_dataset_sources(self, small_federation):
+        compromised = [0, 2]
+        val_only = small_federation.auxiliary_dataset(compromised, source="val")
+        everything = small_federation.auxiliary_dataset(compromised, source="all")
+        expected_val = sum(len(small_federation.client(c).val) for c in compromised)
+        expected_all = sum(small_federation.client(c).num_samples for c in compromised)
+        assert len(val_only) == expected_val
+        assert len(everything) == expected_all
+
+    def test_auxiliary_requires_clients(self, small_federation):
+        with pytest.raises(ValueError):
+            small_federation.auxiliary_dataset([])
+
+    def test_auxiliary_invalid_source(self, small_federation):
+        with pytest.raises(ValueError):
+            small_federation.auxiliary_dataset([0], source="test-only")
+
+    def test_auxiliary_class_counts_consistent(self, small_federation):
+        counts = small_federation.auxiliary_class_counts([0, 1], source="all")
+        expected = small_federation.client(0).class_counts + small_federation.client(1).class_counts
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_global_test_set_pools_clients(self, small_federation):
+        pooled = small_federation.global_test_set()
+        assert len(pooled) == sum(len(c.test) for c in small_federation.clients)
+        capped = small_federation.global_test_set(max_per_client=1)
+        assert len(capped) == small_federation.num_clients
+
+    def test_seed_reproducibility(self, femnist_generator):
+        a = build_federated_dataset(femnist_generator, 4, 20, alpha=0.5, seed=3)
+        b = build_federated_dataset(femnist_generator, 4, 20, alpha=0.5, seed=3)
+        for ca, cb in zip(a.clients, b.clients):
+            np.testing.assert_allclose(ca.train.x, cb.train.x)
+            np.testing.assert_array_equal(ca.class_counts, cb.class_counts)
+
+    def test_invalid_arguments(self, femnist_generator):
+        with pytest.raises(ValueError):
+            build_federated_dataset(femnist_generator, 0, 20, alpha=0.5)
+        with pytest.raises(ValueError):
+            build_federated_dataset(femnist_generator, 4, 0, alpha=0.5)
+
+    def test_alpha_controls_skew(self, femnist_generator):
+        skewed = build_federated_dataset(femnist_generator, 12, 30, alpha=0.05, seed=1)
+        uniform = build_federated_dataset(femnist_generator, 12, 30, alpha=50.0, seed=1)
+
+        def mean_entropy(fed):
+            entropies = []
+            for client in fed.clients:
+                dist = client.class_counts / max(1, client.class_counts.sum())
+                nonzero = dist[dist > 0]
+                entropies.append(-(nonzero * np.log(nonzero)).sum())
+            return float(np.mean(entropies))
+
+        assert mean_entropy(skewed) < mean_entropy(uniform)

@@ -1,0 +1,86 @@
+"""Unit tests for the synthetic FEMNIST and Sentiment generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.femnist import SyntheticFEMNIST
+from repro.data.sentiment import SyntheticSentiment
+
+
+class TestSyntheticFEMNIST:
+    def test_sample_shapes_and_range(self, femnist_generator):
+        counts = np.array([3, 2, 0, 1, 0])
+        data = femnist_generator.sample_client(counts, client_seed=1)
+        assert data.x.shape == (6, 1, 12, 12)
+        assert data.x.min() >= 0.0 and data.x.max() <= 1.0
+        np.testing.assert_array_equal(np.bincount(data.y, minlength=5), counts)
+
+    def test_prototypes_are_distinct(self, femnist_generator):
+        protos = femnist_generator.prototypes
+        for i in range(len(protos)):
+            for j in range(i + 1, len(protos)):
+                assert np.abs(protos[i] - protos[j]).mean() > 0.01
+
+    def test_generation_is_deterministic(self, femnist_generator):
+        counts = np.array([2, 2, 2, 0, 0])
+        a = femnist_generator.sample_client(counts, client_seed=9)
+        b = femnist_generator.sample_client(counts, client_seed=9)
+        np.testing.assert_allclose(a.x, b.x)
+
+    def test_different_clients_have_different_styles(self, femnist_generator):
+        counts = np.array([2, 0, 0, 0, 0])
+        a = femnist_generator.sample_client(counts, client_seed=1)
+        b = femnist_generator.sample_client(counts, client_seed=2)
+        assert not np.allclose(a.x, b.x)
+
+    def test_empty_counts_give_empty_dataset(self, femnist_generator):
+        data = femnist_generator.sample_client(np.zeros(5, dtype=int), client_seed=0)
+        assert len(data) == 0
+
+    def test_wrong_count_length_raises(self, femnist_generator):
+        with pytest.raises(ValueError):
+            femnist_generator.sample_client(np.array([1, 2]), client_seed=0)
+
+    def test_classes_are_learnable(self, femnist_generator):
+        """A nearest-prototype classifier should beat chance by a wide margin."""
+        data = femnist_generator.sample_iid(100, seed=5)
+        protos = femnist_generator.prototypes.reshape(5, -1)
+        flat = data.x.reshape(len(data), -1)
+        distances = ((flat[:, None, :] - protos[None, :, :]) ** 2).sum(axis=2)
+        preds = distances.argmin(axis=1)
+        assert (preds == data.y).mean() > 0.5
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            SyntheticFEMNIST(num_classes=1)
+        with pytest.raises(ValueError):
+            SyntheticFEMNIST(image_size=4)
+
+
+class TestSyntheticSentiment:
+    def test_sample_shapes(self, sentiment_generator):
+        counts = np.array([4, 3])
+        data = sentiment_generator.sample_client(counts, client_seed=1)
+        assert data.x.shape == (7, 16)
+        np.testing.assert_array_equal(np.bincount(data.y, minlength=2), counts)
+
+    def test_classes_are_separable(self, sentiment_generator):
+        data = sentiment_generator.sample_iid(200, seed=3)
+        mean_pos = data.x[data.y == 1].mean(axis=0)
+        mean_neg = data.x[data.y == 0].mean(axis=0)
+        assert np.linalg.norm(mean_pos - mean_neg) > 0.1
+
+    def test_trigger_embedding_dimension(self, sentiment_generator):
+        assert sentiment_generator.trigger_embedding().shape == (16,)
+
+    def test_deterministic_generation(self, sentiment_generator):
+        counts = np.array([3, 3])
+        a = sentiment_generator.sample_client(counts, client_seed=4)
+        b = sentiment_generator.sample_client(counts, client_seed=4)
+        np.testing.assert_allclose(a.x, b.x)
+
+    def test_invalid_vocab_raises(self):
+        with pytest.raises(ValueError):
+            SyntheticSentiment(num_classes=4, vocab_size=8)

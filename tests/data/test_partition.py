@@ -1,0 +1,97 @@
+"""Unit and property-based tests for the Dirichlet partitioner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import (
+    cumulative_label_distribution,
+    dirichlet_label_partition,
+    label_distribution,
+    non_iid_degree,
+    partition_sizes,
+)
+
+
+class TestPartitionSizes:
+    def test_total_approximately_preserved(self, rng):
+        sizes = partition_sizes(1000, 20, rng)
+        assert abs(int(sizes.sum()) - 1000) < 200
+
+    def test_minimum_size_enforced(self, rng):
+        sizes = partition_sizes(100, 30, rng, min_samples=5)
+        assert sizes.min() >= 5
+
+    def test_rejects_nonpositive_clients(self, rng):
+        with pytest.raises(ValueError):
+            partition_sizes(100, 0, rng)
+
+
+class TestDirichletPartition:
+    def test_counts_sum_to_client_size(self, rng):
+        sizes = np.array([30, 50, 20])
+        counts = dirichlet_label_partition(sizes, num_classes=4, alpha=0.5, rng=rng)
+        for size, count in zip(sizes, counts):
+            assert count.sum() == size
+
+    def test_small_alpha_is_more_skewed_than_large_alpha(self):
+        rng_a = np.random.default_rng(0)
+        rng_b = np.random.default_rng(0)
+        sizes = np.full(40, 60)
+        skewed = dirichlet_label_partition(sizes, 10, alpha=0.05, rng=rng_a)
+        uniform = dirichlet_label_partition(sizes, 10, alpha=100.0, rng=rng_b)
+        assert non_iid_degree(skewed) > non_iid_degree(uniform)
+
+    def test_invalid_alpha_raises(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_label_partition(np.array([10]), 3, alpha=0.0, rng=rng)
+
+    def test_single_class_rejected(self, rng):
+        with pytest.raises(ValueError):
+            dirichlet_label_partition(np.array([10]), 1, alpha=1.0, rng=rng)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=100.0, allow_nan=False),
+        num_classes=st.integers(min_value=2, max_value=12),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_counts_always_nonnegative_and_complete(self, alpha, num_classes, seed):
+        """Every partition conserves sample counts and never goes negative."""
+        rng = np.random.default_rng(seed)
+        sizes = np.array([25, 40, 10])
+        counts = dirichlet_label_partition(sizes, num_classes, alpha, rng)
+        for size, count in zip(sizes, counts):
+            assert count.min() >= 0
+            assert count.sum() == size
+            assert count.shape == (num_classes,)
+
+
+class TestDistributions:
+    def test_label_distribution_normalises(self):
+        dist = label_distribution(np.array([2, 2, 4]))
+        np.testing.assert_allclose(dist, [0.25, 0.25, 0.5])
+
+    def test_label_distribution_handles_empty(self):
+        dist = label_distribution(np.zeros(4))
+        np.testing.assert_allclose(dist, 0.25)
+
+    def test_cumulative_label_distribution_monotone(self):
+        cum = cumulative_label_distribution(np.array([1, 0, 3, 2]))
+        assert np.all(np.diff(cum) >= 0)
+        assert cum[-1] == 6
+
+    def test_non_iid_degree_zero_for_identical_clients(self):
+        counts = [np.array([5, 5, 5]) for _ in range(4)]
+        assert non_iid_degree(counts) == pytest.approx(0.0)
+
+    def test_non_iid_degree_high_for_disjoint_clients(self):
+        counts = [np.array([10, 0]), np.array([0, 10])]
+        assert non_iid_degree(counts) == pytest.approx(0.5)
+
+    def test_non_iid_degree_empty_raises(self):
+        with pytest.raises(ValueError):
+            non_iid_degree([])

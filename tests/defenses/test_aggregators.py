@@ -1,0 +1,201 @@
+"""Unit tests for the robust-aggregation defenses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.defenses.base import MeanAggregator
+from repro.defenses.crfl import CRFL
+from repro.defenses.dp import DPAggregator
+from repro.defenses.flare import FLARE
+from repro.defenses.krum import Krum
+from repro.defenses.median import CoordinateMedian
+from repro.defenses.norm_bound import NormBound
+from repro.defenses.rlr import RobustLearningRate
+from repro.defenses.signsgd import SignSGDAggregator
+from repro.defenses.trimmed_mean import TrimmedMean
+
+
+@pytest.fixture()
+def benign_updates(rng):
+    """A cluster of similar benign updates."""
+    base = rng.normal(size=40)
+    return np.stack([base + rng.normal(0, 0.1, size=40) for _ in range(6)])
+
+
+@pytest.fixture()
+def outlier_update(rng):
+    return rng.normal(size=40) * 50.0
+
+
+GLOBAL = np.zeros(40)
+
+
+def _rng():
+    return np.random.default_rng(0)
+
+
+class TestMeanAggregator:
+    def test_matches_numpy_mean(self, benign_updates):
+        out = MeanAggregator()(benign_updates, GLOBAL, _rng())
+        np.testing.assert_allclose(out, benign_updates.mean(axis=0))
+
+    def test_rejects_empty_round(self):
+        with pytest.raises(ValueError):
+            MeanAggregator()(np.zeros((0, 4)), np.zeros(4), _rng())
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            MeanAggregator()(np.zeros(4), np.zeros(4), _rng())
+
+
+class TestKrum:
+    def test_selects_central_update_over_outlier(self, benign_updates, outlier_update):
+        updates = np.vstack([benign_updates, outlier_update])
+        out = Krum(num_malicious=1, multi=1)(updates, GLOBAL, _rng())
+        distances_to_benign = np.linalg.norm(benign_updates - out, axis=1)
+        assert distances_to_benign.min() < np.linalg.norm(outlier_update - out)
+
+    def test_multi_krum_averages_selected(self, benign_updates):
+        out = Krum(num_malicious=0, multi=len(benign_updates))(benign_updates, GLOBAL, _rng())
+        np.testing.assert_allclose(out, benign_updates.mean(axis=0), atol=1e-12)
+
+    def test_single_update_returned_unchanged(self, rng):
+        update = rng.normal(size=(1, 10))
+        np.testing.assert_allclose(Krum()(update, np.zeros(10), _rng()), update[0])
+
+    def test_scores_lower_for_central_points(self, benign_updates, outlier_update):
+        updates = np.vstack([benign_updates, outlier_update])
+        scores = Krum(num_malicious=1).scores(updates)
+        assert scores[-1] > scores[:-1].max()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            Krum(num_malicious=-1)
+        with pytest.raises(ValueError):
+            Krum(multi=0)
+
+
+class TestMedianAndTrimmedMean:
+    def test_median_ignores_single_outlier(self, benign_updates, outlier_update):
+        updates = np.vstack([benign_updates, outlier_update])
+        out = CoordinateMedian()(updates, GLOBAL, _rng())
+        assert np.linalg.norm(out - benign_updates.mean(axis=0)) < 1.0
+
+    def test_trimmed_mean_removes_extremes(self):
+        updates = np.array([[0.0], [1.0], [2.0], [3.0], [100.0]])
+        out = TrimmedMean(trim_fraction=0.2)(updates, np.zeros(1), _rng())
+        assert out[0] == pytest.approx(2.0)
+
+    def test_trimmed_mean_falls_back_to_mean_when_trim_zero(self, benign_updates):
+        out = TrimmedMean(trim_fraction=0.0)(benign_updates, GLOBAL, _rng())
+        np.testing.assert_allclose(out, benign_updates.mean(axis=0))
+
+    def test_trimmed_mean_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            TrimmedMean(trim_fraction=0.5)
+
+
+class TestNormBoundAndDP:
+    def test_norm_bound_clips_large_updates(self, benign_updates, outlier_update):
+        updates = np.vstack([benign_updates, outlier_update])
+        bounded = NormBound(max_norm=1.0)(updates, GLOBAL, _rng())
+        unbounded = MeanAggregator()(updates, GLOBAL, _rng())
+        assert np.linalg.norm(bounded) < np.linalg.norm(unbounded)
+
+    def test_norm_bound_keeps_small_updates_exact(self, rng):
+        updates = rng.normal(size=(4, 10)) * 1e-3
+        out = NormBound(max_norm=10.0)(updates, np.zeros(10), _rng())
+        np.testing.assert_allclose(out, updates.mean(axis=0))
+
+    def test_dp_adds_noise(self, benign_updates):
+        clean = DPAggregator(clip_norm=10.0, noise_multiplier=0.0)(benign_updates, GLOBAL, _rng())
+        noisy = DPAggregator(clip_norm=10.0, noise_multiplier=1.0)(benign_updates, GLOBAL, _rng())
+        assert not np.allclose(clean, noisy)
+
+    def test_dp_clipping_bounds_each_contribution(self, outlier_update):
+        updates = np.stack([outlier_update, outlier_update])
+        out = DPAggregator(clip_norm=1.0, noise_multiplier=0.0)(updates, GLOBAL, _rng())
+        assert np.linalg.norm(out) <= 1.0 + 1e-9
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            NormBound(max_norm=0.0)
+        with pytest.raises(ValueError):
+            DPAggregator(clip_norm=-1.0)
+        with pytest.raises(ValueError):
+            DPAggregator(noise_multiplier=-0.1)
+
+
+class TestRLR:
+    def test_flips_coordinates_without_agreement(self):
+        # Three clients agree on coordinate 0, disagree on coordinate 1.
+        updates = np.array([[1.0, 1.0], [1.0, -1.0], [1.0, 1.0], [1.0, -1.0]])
+        out = RobustLearningRate(threshold=3)(updates, np.zeros(2), _rng())
+        mean = updates.mean(axis=0)
+        assert out[0] == pytest.approx(mean[0])
+        assert out[1] == pytest.approx(-mean[1])
+
+    def test_full_agreement_is_plain_mean(self, benign_updates):
+        positive = np.abs(benign_updates)
+        out = RobustLearningRate(threshold_fraction=0.9)(positive, GLOBAL, _rng())
+        np.testing.assert_allclose(out, positive.mean(axis=0))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            RobustLearningRate(threshold=0)
+        with pytest.raises(ValueError):
+            RobustLearningRate(threshold_fraction=0.0)
+
+
+class TestSignSGD:
+    def test_output_is_sign_vote_scaled(self):
+        updates = np.array([[1.0, -2.0], [3.0, -1.0], [-0.5, -4.0]])
+        out = SignSGDAggregator(step_size=0.1)(updates, np.zeros(2), _rng())
+        np.testing.assert_allclose(out, [0.1, -0.1])
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            SignSGDAggregator(step_size=0.0)
+
+
+class TestFLARE:
+    def test_trust_scores_sum_to_one(self, benign_updates):
+        weights = FLARE().trust_scores(benign_updates)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_outlier_gets_least_trust(self, benign_updates, outlier_update):
+        updates = np.vstack([benign_updates, outlier_update])
+        weights = FLARE().trust_scores(updates)
+        assert weights[-1] == weights.min()
+
+    def test_aggregate_downweights_outlier(self, benign_updates, outlier_update):
+        updates = np.vstack([benign_updates, outlier_update])
+        flare_out = FLARE()(updates, GLOBAL, _rng())
+        mean_out = MeanAggregator()(updates, GLOBAL, _rng())
+        benign_mean = benign_updates.mean(axis=0)
+        assert np.linalg.norm(flare_out - benign_mean) < np.linalg.norm(mean_out - benign_mean)
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            FLARE(temperature=0.0)
+
+
+class TestCRFL:
+    def test_clips_resulting_model_norm(self, rng):
+        updates = rng.normal(size=(3, 20)) * 100
+        global_params = rng.normal(size=20) * 100
+        out = CRFL(param_clip=1.0, noise_std=0.0)(updates, global_params, _rng())
+        assert np.linalg.norm(global_params + out) <= 1.0 + 1e-9
+
+    def test_noise_perturbs_model(self, benign_updates):
+        a = CRFL(param_clip=100.0, noise_std=0.0)(benign_updates, GLOBAL, _rng())
+        b = CRFL(param_clip=100.0, noise_std=0.1)(benign_updates, GLOBAL, _rng())
+        assert not np.allclose(a, b)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            CRFL(param_clip=0.0)
+        with pytest.raises(ValueError):
+            CRFL(noise_std=-1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for experiment configuration and result formatting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult, format_table
+from repro.federated.history import TrainingHistory
+from repro.metrics.accuracy import ClientEvaluation
+
+
+class TestExperimentConfig:
+    def test_defaults_valid(self):
+        config = ExperimentConfig()
+        assert config.dataset == "femnist"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dataset": "cifar"},
+            {"algorithm": "fedprox"},
+            {"attack": "badnets"},
+            {"compromised_fraction": -0.1},
+            {"alpha": 0.0},
+            {"attack": "collapois", "compromised_fraction": 0.0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(ValueError):
+            ExperimentConfig(**kwargs)
+
+    def test_sentiment_forces_binary_classes(self):
+        config = ExperimentConfig(dataset="sentiment", num_classes=10)
+        assert config.num_classes == 2
+        assert config.model in {"text", "mlp"}
+        lenet_config = ExperimentConfig(dataset="sentiment", model="lenet")
+        assert lenet_config.model == "text"
+
+    def test_with_overrides_creates_copy(self):
+        base = ExperimentConfig(alpha=0.5)
+        derived = base.with_overrides(alpha=5.0, attack="collapois")
+        assert base.alpha == 0.5 and base.attack == "none"
+        assert derived.alpha == 5.0 and derived.attack == "collapois"
+
+
+class TestExperimentResult:
+    def _result(self):
+        evaluation = ClientEvaluation(np.array([0.9, 0.7]), np.array([0.8, 0.2]), [0, 1])
+        return ExperimentResult(
+            config=ExperimentConfig(), evaluation=evaluation,
+            history=TrainingHistory(), compromised_ids=[5],
+        )
+
+    def test_summary_fields(self):
+        summary = self._result().summary()
+        assert summary["benign_accuracy"] == pytest.approx(0.8)
+        assert summary["attack_success_rate"] == pytest.approx(0.5)
+        assert summary["num_compromised"] == 1.0
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert format_table([]) == "(empty table)"
+
+    def test_alignment_and_content(self):
+        rows = [
+            {"attack": "collapois", "asr": 0.912},
+            {"attack": "dpois", "asr": 0.1},
+        ]
+        table = format_table(rows)
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "collapois" in lines[2]
+        assert "0.912" in table and "0.100" in table
+
+    def test_column_selection(self):
+        rows = [{"a": 1.0, "b": 2.0}]
+        table = format_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]

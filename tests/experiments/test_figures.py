@@ -1,0 +1,107 @@
+"""Smoke tests for the per-figure experiment drivers (tiny configurations)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.attack_comparison import attack_comparison_sweep, baseline_sensitivity_sweep
+from repro.experiments.client_level import client_cluster_analysis, label_similarity_analysis
+from repro.experiments.defense_evaluation import compromised_fraction_sweep, defense_sweep
+from repro.experiments.gradient_geometry import gradient_angle_analysis, stealth_angle_analysis
+from repro.experiments.longevity import longevity_analysis
+from repro.experiments.theory_figs import (
+    alpha_to_bound,
+    bound_approximation_error_sweep,
+    bound_surface,
+)
+
+
+@pytest.fixture()
+def sweep_config(tiny_config):
+    return tiny_config.with_overrides(rounds=4, compromised_fraction=0.2, trojan_epochs=4)
+
+
+class TestAttackComparison:
+    def test_sweep_produces_row_per_combination(self, sweep_config):
+        rows = attack_comparison_sweep(sweep_config, alphas=[0.3], attacks=["collapois", "dpois"])
+        assert len(rows) == 2
+        assert {row["attack"] for row in rows} == {"collapois", "dpois"}
+        for row in rows:
+            assert 0.0 <= row["benign_accuracy"] <= 1.0
+            assert 0.0 <= row["attack_success_rate"] <= 1.0
+
+    def test_baseline_sensitivity_rows(self, sweep_config):
+        rows = baseline_sensitivity_sweep(
+            sweep_config, alphas=[0.3], fractions=[0.2], attacks=["dpois"]
+        )
+        assert len(rows) == 1
+        assert rows[0]["compromised_fraction"] == 0.2
+
+
+class TestDefenseEvaluation:
+    def test_defense_sweep_skips_inapplicable_for_metafed(self, sweep_config):
+        config = sweep_config.with_overrides(algorithm="metafed", attack="collapois")
+        rows = defense_sweep(config, alphas=[0.3], defenses={"mean": {}, "krum": {}})
+        assert {row["defense"] for row in rows} == {"mean"}
+
+    def test_compromised_fraction_sweep_topk(self, sweep_config):
+        config = sweep_config.with_overrides(attack="collapois")
+        rows = compromised_fraction_sweep(config, fractions=[0.2], top_k_percents=[25.0, 100.0],
+                                          defense="mean")
+        assert len(rows) == 2
+        top25 = next(r for r in rows if r["top_k_percent"] == 25.0)
+        overall = next(r for r in rows if r["top_k_percent"] == 100.0)
+        assert top25["attack_success_rate"] >= overall["attack_success_rate"] - 1e-9
+
+
+class TestGradientGeometry:
+    def test_angle_analysis_columns(self, sweep_config):
+        rows = gradient_angle_analysis(sweep_config, alphas=[0.3], attack="collapois")
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["collapois_malicious_angle_mean"] <= row["dpois_malicious_angle_mean"] + 1e-9
+        assert row["beta_mean"] >= 0.0
+
+    def test_stealth_analysis(self, sweep_config):
+        rows = stealth_angle_analysis(sweep_config, psi_ranges=[(0.9, 1.0)])
+        assert len(rows) == 1
+        assert "malicious_angle_mean" in rows[0]
+
+
+class TestTheoryFigures:
+    def test_bound_surface_shapes(self):
+        surface = bound_surface(resolution=5)
+        assert surface["surface"].shape == (5, 5)
+        assert np.all(surface["surface"] <= 1.0)
+
+    def test_alpha_to_bound_monotone(self):
+        rows = alpha_to_bound([0.01, 1.0, 100.0])
+        fractions = [row["fraction"] for row in rows]
+        assert fractions[0] <= fractions[1] <= fractions[2]
+
+    def test_bound_approximation_error(self, sweep_config):
+        rows = bound_approximation_error_sweep(sweep_config, alphas=[0.3])
+        assert rows[0]["relative_error"] >= 0.0
+        assert rows[0]["approximate_bound"] <= sweep_config.num_clients
+
+
+class TestClientLevelAndLongevity:
+    def test_client_cluster_analysis(self, sweep_config):
+        config = sweep_config.with_overrides(attack="collapois")
+        analysis = client_cluster_analysis(config)
+        total = sum(members.size for members in analysis["clusters"].values())
+        assert total == len(analysis["per_client_benign_accuracy"])
+
+    def test_label_similarity_rows(self, sweep_config):
+        config = sweep_config.with_overrides(attack="collapois")
+        rows = label_similarity_analysis(config)
+        assert {row["cluster"] for row in rows} >= {"top1%", "bottom"}
+        for row in rows:
+            assert 0.0 <= row["cosine_similarity"] <= 1.0 + 1e-9
+
+    def test_longevity_series(self, sweep_config):
+        series = longevity_analysis(sweep_config.with_overrides(rounds=4),
+                                    attacks=["collapois"], eval_every=2)
+        assert len(series["collapois"]) == 2
+        assert all("attack_success_rate" in row for row in series["collapois"])

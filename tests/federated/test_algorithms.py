@@ -1,0 +1,152 @@
+"""Unit tests for FedAvg, FedDC and MetaFed."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.federated.algorithms.fedavg import FedAvg
+from repro.federated.algorithms.feddc import FedDC
+from repro.federated.algorithms.metafed import MetaFed
+from repro.federated.client import LocalTrainingConfig
+from repro.nn.serialization import flatten_params
+
+
+@pytest.fixture()
+def config():
+    return LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05)
+
+
+class TestFedAvg:
+    def test_personalized_params_is_global(self, image_model_factory, small_federation, config, rng):
+        algo = FedAvg()
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        algo.init_state(small_federation.num_clients, global_params.size)
+        personal = algo.personalized_params(
+            0, global_params, model, small_federation.client(0).train, config, rng
+        )
+        np.testing.assert_allclose(personal, global_params)
+
+    def test_benign_update_nonzero(self, image_model_factory, small_federation, config, rng):
+        algo = FedAvg()
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        update, loss = algo.benign_update(
+            0, model, global_params, small_federation.client(0).train, config, rng
+        )
+        assert np.abs(update).sum() > 0 and np.isfinite(loss)
+
+
+class TestFedDC:
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            FedDC(drift_lr=0.0)
+        with pytest.raises(ValueError):
+            FedDC(proximal_mu=-1.0)
+        with pytest.raises(ValueError):
+            FedDC(drift_clip=0.0)
+
+    def test_drift_requires_init(self):
+        algo = FedDC()
+        with pytest.raises(RuntimeError):
+            _ = algo.drift
+
+    def test_post_aggregate_updates_drift(self, image_model_factory, small_federation, config, rng):
+        algo = FedDC(drift_lr=1.0)
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        algo.init_state(small_federation.num_clients, global_params.size)
+        update, _ = algo.benign_update(
+            0, model, global_params, small_federation.client(0).train, config, rng
+        )
+        algo.post_aggregate(global_params, {0: update})
+        np.testing.assert_allclose(algo.drift[0], update)
+        assert np.abs(algo.drift[1]).sum() == 0.0
+
+    def test_drift_is_clipped(self, small_federation):
+        algo = FedDC(drift_lr=1.0, drift_clip=0.5)
+        algo.init_state(small_federation.num_clients, 10)
+        huge = np.full(10, 100.0)
+        algo.post_aggregate(np.zeros(10), {0: huge})
+        assert np.linalg.norm(algo.drift[0]) <= 0.5 + 1e-9
+
+    def test_personalized_params_adds_drift(self, image_model_factory, small_federation, config, rng):
+        algo = FedDC()
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        algo.init_state(small_federation.num_clients, global_params.size)
+        algo.drift[2] = np.ones_like(global_params) * 0.01
+        personal = algo.personalized_params(
+            2, global_params, model, small_federation.client(2).train, config, rng
+        )
+        np.testing.assert_allclose(personal, global_params + 0.01)
+
+
+class TestMetaFed:
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ValueError):
+            MetaFed(num_neighbors=0)
+        with pytest.raises(ValueError):
+            MetaFed(distill_weight=1.5)
+        with pytest.raises(ValueError):
+            MetaFed(finetune_epochs=0)
+
+    def test_neighbors_require_label_distributions(self):
+        algo = MetaFed()
+        algo.init_state(4, 10)
+        assert algo.neighbors(0).size == 0
+
+    def test_neighbors_prefer_similar_label_distributions(self):
+        algo = MetaFed(num_neighbors=1, similarity_threshold=0.0)
+        algo.init_state(3, 10)
+        counts = np.array([[10, 0, 0], [9, 1, 0], [0, 0, 10]])
+        algo.set_label_distributions(counts)
+        assert algo.neighbors(0).tolist() == [1]
+
+    def test_similarity_threshold_prunes_dissimilar_neighbors(self):
+        algo = MetaFed(num_neighbors=2, similarity_threshold=0.99)
+        algo.init_state(3, 10)
+        counts = np.array([[10, 0], [0, 10], [5, 5]])
+        algo.set_label_distributions(counts)
+        assert algo.neighbors(0).size == 0
+
+    def test_personalized_blends_neighbor_knowledge(
+        self, image_model_factory, small_federation, config, rng
+    ):
+        # Force client 1 to be client 0's (only similar) neighbour so the
+        # distillation term demonstrably pulls client 0 toward client 1's
+        # personal model.
+        forced_counts = np.zeros((small_federation.num_clients, 5))
+        forced_counts[0] = [10, 1, 0, 0, 0]
+        forced_counts[1] = [9, 2, 0, 0, 0]
+        forced_counts[2:] = [0, 0, 5, 5, 5]
+
+        def build(distill_weight):
+            algo = MetaFed(num_neighbors=1, distill_weight=distill_weight,
+                           similarity_threshold=0.5)
+            algo.init_state(small_federation.num_clients, global_params.size)
+            algo.set_label_distributions(forced_counts)
+            algo.post_aggregate(global_params, {1: np.ones_like(global_params)})
+            return algo
+
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        personal_with = build(0.5).personalized_params(
+            0, global_params, model, small_federation.client(0).train, config,
+            np.random.default_rng(0),
+        )
+        personal_without = build(0.0).personalized_params(
+            0, global_params, model, small_federation.client(0).train, config,
+            np.random.default_rng(0),
+        )
+        assert not np.allclose(personal_with, personal_without)
+
+    def test_requires_init_state(self, image_model_factory, small_federation, config, rng):
+        algo = MetaFed()
+        model = image_model_factory()
+        global_params = flatten_params(image_model_factory())
+        with pytest.raises(RuntimeError):
+            algo.personalized_params(
+                0, global_params, model, small_federation.client(0).train, config, rng
+            )

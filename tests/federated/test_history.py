@@ -1,0 +1,43 @@
+"""Unit tests for the training history container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federated.history import RoundRecord, TrainingHistory
+
+
+def _record(idx, acc=None):
+    return RoundRecord(
+        round_idx=idx,
+        sampled_clients=[0, 1],
+        compromised_sampled=[],
+        mean_benign_loss=1.0 / (idx + 1),
+        update_norm=0.5,
+        benign_accuracy=acc,
+    )
+
+
+class TestTrainingHistory:
+    def test_append_and_len(self):
+        history = TrainingHistory()
+        history.append(_record(0))
+        history.append(_record(1))
+        assert len(history) == 2
+
+    def test_series_extraction(self):
+        history = TrainingHistory()
+        for i in range(3):
+            history.append(_record(i, acc=0.1 * i))
+        assert history.series("benign_accuracy") == [0.0, 0.1, 0.2]
+        assert history.series("round_idx") == [0, 1, 2]
+
+    def test_last(self):
+        history = TrainingHistory()
+        history.append(_record(0))
+        history.append(_record(5))
+        assert history.last().round_idx == 5
+
+    def test_last_on_empty_raises(self):
+        with pytest.raises(IndexError):
+            TrainingHistory().last()

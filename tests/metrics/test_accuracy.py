@@ -1,0 +1,85 @@
+"""Unit tests for Benign AC / Attack SR evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.triggers import PixelPatchTrigger, poison_dataset
+from repro.core.trojan import train_trojan_model
+from repro.metrics.accuracy import ClientEvaluation, evaluate_clients, evaluate_global_model
+from repro.nn.serialization import flatten_params
+
+
+class TestClientEvaluation:
+    def test_mean_properties(self):
+        evaluation = ClientEvaluation(
+            benign_accuracy=np.array([1.0, 0.5]),
+            attack_success_rate=np.array([0.0, 0.5]),
+            client_ids=[0, 1],
+        )
+        assert evaluation.mean_benign_accuracy == pytest.approx(0.75)
+        assert evaluation.mean_attack_success_rate == pytest.approx(0.25)
+        assert set(evaluation.as_dict()) == {"benign_accuracy", "attack_success_rate"}
+
+    def test_empty_evaluation(self):
+        evaluation = ClientEvaluation(np.zeros(0), np.zeros(0))
+        assert evaluation.mean_benign_accuracy == 0.0
+
+
+class TestEvaluateClients:
+    def test_random_model_has_low_benign_accuracy(self, small_federation, image_model_factory):
+        model = image_model_factory()
+        params = flatten_params(image_model_factory())
+        evaluation = evaluate_global_model(small_federation, model, params)
+        assert 0.0 <= evaluation.mean_benign_accuracy <= 1.0
+
+    def test_trojaned_model_scores_high_attack_sr(self, small_federation, image_model_factory, rng):
+        trigger = PixelPatchTrigger(image_size=12, patch_size=3)
+        aux = small_federation.auxiliary_dataset(list(range(4)), source="all")
+        poisoned = poison_dataset(aux, trigger, target_class=0, poison_fraction=0.8, rng=rng)
+        trojan = train_trojan_model(image_model_factory, poisoned, epochs=20, lr=0.08, seed=0)
+        model = image_model_factory()
+        evaluation = evaluate_global_model(
+            small_federation, model, trojan, trigger=trigger, target_class=0
+        )
+        assert evaluation.mean_attack_success_rate > 0.5
+        assert evaluation.mean_benign_accuracy > 0.4
+
+    def test_client_subset_is_respected(self, small_federation, image_model_factory):
+        model = image_model_factory()
+        params = flatten_params(image_model_factory())
+        evaluation = evaluate_global_model(small_federation, model, params, client_ids=[1, 3])
+        assert evaluation.client_ids == [1, 3]
+        assert evaluation.benign_accuracy.shape == (2,)
+
+    def test_max_test_samples_cap(self, small_federation, image_model_factory):
+        model = image_model_factory()
+        params = flatten_params(image_model_factory())
+        capped = evaluate_global_model(small_federation, model, params, max_test_samples=1)
+        assert capped.benign_accuracy.shape[0] == small_federation.num_clients
+
+    def test_per_client_params_fn_is_used(self, small_federation, image_model_factory):
+        model = image_model_factory()
+        base = flatten_params(image_model_factory())
+        calls = []
+
+        def params_fn(client_id):
+            calls.append(client_id)
+            return base
+
+        evaluate_clients(small_federation, model, params_fn)
+        assert calls == list(range(small_federation.num_clients))
+
+    def test_attack_sr_excludes_target_class_samples(self, small_federation, image_model_factory):
+        """Clients whose test data is entirely the target class contribute 0 Attack SR."""
+        model = image_model_factory()
+        params = flatten_params(image_model_factory())
+        trigger = PixelPatchTrigger(image_size=12, patch_size=2)
+        evaluation = evaluate_global_model(
+            small_federation, model, params, trigger=trigger, target_class=0
+        )
+        for pos, client_id in enumerate(evaluation.client_ids):
+            client = small_federation.client(client_id)
+            if np.all(client.test.y == 0):
+                assert evaluation.attack_success_rate[pos] == 0.0

@@ -1,0 +1,80 @@
+"""Unit tests for the client-level scoring and clustering (Eq. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metrics.accuracy import ClientEvaluation
+from repro.metrics.client_level import (
+    client_scores,
+    cluster_clients_by_score,
+    cluster_metrics,
+    top_k_metrics,
+)
+
+
+@pytest.fixture()
+def evaluation():
+    # 10 clients with decreasing attack success and constant benign accuracy.
+    benign = np.full(10, 0.8)
+    attack = np.linspace(1.0, 0.1, 10)
+    return ClientEvaluation(benign, attack, client_ids=list(range(10)))
+
+
+class TestScores:
+    def test_score_is_sum_of_metrics(self, evaluation):
+        scores = client_scores(evaluation)
+        np.testing.assert_allclose(scores, evaluation.benign_accuracy + evaluation.attack_success_rate)
+
+
+class TestTopK:
+    def test_top_10_percent_is_most_affected_client(self, evaluation):
+        metrics = top_k_metrics(evaluation, 10.0)
+        assert metrics["num_clients"] == 1
+        assert metrics["attack_success_rate"] == pytest.approx(1.0)
+
+    def test_top_100_percent_is_population_average(self, evaluation):
+        metrics = top_k_metrics(evaluation, 100.0)
+        assert metrics["attack_success_rate"] == pytest.approx(evaluation.mean_attack_success_rate)
+
+    def test_top_k_is_monotone_in_k(self, evaluation):
+        top_small = top_k_metrics(evaluation, 20.0)["attack_success_rate"]
+        top_large = top_k_metrics(evaluation, 80.0)["attack_success_rate"]
+        assert top_small >= top_large
+
+    def test_invalid_k(self, evaluation):
+        with pytest.raises(ValueError):
+            top_k_metrics(evaluation, 0.0)
+        with pytest.raises(ValueError):
+            top_k_metrics(evaluation, 150.0)
+
+    def test_empty_evaluation(self):
+        empty = ClientEvaluation(np.zeros(0), np.zeros(0))
+        assert top_k_metrics(empty, 25.0)["num_clients"] == 0
+
+
+class TestClusters:
+    def test_clusters_are_disjoint_and_complete(self, evaluation):
+        clusters = cluster_clients_by_score(evaluation, boundaries=(10.0, 50.0))
+        all_members = np.concatenate(list(clusters.values()))
+        assert sorted(all_members.tolist()) == list(range(10))
+        assert len(all_members) == len(set(all_members.tolist()))
+
+    def test_top_cluster_has_highest_attack_sr(self, evaluation):
+        clusters = cluster_clients_by_score(evaluation, boundaries=(10.0, 50.0))
+        metrics = cluster_metrics(evaluation, clusters)
+        assert metrics["top10%"]["attack_success_rate"] >= metrics["top50%"]["attack_success_rate"]
+        assert metrics["top50%"]["attack_success_rate"] >= metrics["bottom"]["attack_success_rate"]
+
+    def test_cluster_sizes_match_boundaries(self, evaluation):
+        clusters = cluster_clients_by_score(evaluation, boundaries=(10.0, 50.0))
+        assert clusters["top10%"].size == 1
+        assert clusters["top50%"].size == 4
+        assert clusters["bottom"].size == 5
+
+    def test_empty_cluster_metrics(self):
+        evaluation = ClientEvaluation(np.array([0.5]), np.array([0.5]), client_ids=[0])
+        clusters = {"top": np.array([0]), "rest": np.zeros(0, dtype=int)}
+        metrics = cluster_metrics(evaluation, clusters)
+        assert metrics["rest"]["num_clients"] == 0

@@ -1,0 +1,107 @@
+"""Unit and property-based tests for gradient-angle and similarity metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.gradients import (
+    aggregate_angle_to_group,
+    angle_between,
+    angle_summary,
+    angles_to_reference,
+    pairwise_angles,
+)
+from repro.metrics.similarity import cluster_similarity, cumulative_label_cosine
+
+
+class TestAngleBetween:
+    def test_orthogonal_vectors(self):
+        assert angle_between([1, 0], [0, 1]) == pytest.approx(np.pi / 2)
+
+    def test_parallel_vectors(self):
+        assert angle_between([1, 2], [2, 4]) == pytest.approx(0.0, abs=1e-6)
+
+    def test_opposite_vectors(self):
+        assert angle_between([1, 0], [-1, 0]) == pytest.approx(np.pi)
+
+    def test_zero_vector_returns_zero(self):
+        assert angle_between([0, 0], [1, 1]) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=5000),
+        dim=st.integers(min_value=2, max_value=30),
+    )
+    def test_angle_properties(self, seed, dim):
+        """Angles are symmetric and within [0, π]."""
+        rng = np.random.default_rng(seed)
+        u, v = rng.normal(size=dim), rng.normal(size=dim)
+        a = angle_between(u, v)
+        assert 0.0 <= a <= np.pi + 1e-12
+        assert a == pytest.approx(angle_between(v, u))
+
+
+class TestPairwiseAngles:
+    def test_count_is_n_choose_2(self, rng):
+        updates = rng.normal(size=(5, 8))
+        assert pairwise_angles(updates).shape == (10,)
+
+    def test_single_row_yields_empty(self, rng):
+        assert pairwise_angles(rng.normal(size=(1, 8))).size == 0
+
+    def test_identical_rows_have_zero_angles(self):
+        updates = np.tile(np.arange(1, 5, dtype=float), (3, 1))
+        np.testing.assert_allclose(pairwise_angles(updates), 0.0, atol=1e-6)
+
+    def test_angles_to_reference_shape(self, rng):
+        updates = rng.normal(size=(4, 6))
+        assert angles_to_reference(updates, rng.normal(size=6)).shape == (4,)
+
+    def test_aggregate_angle_to_group(self, rng):
+        benign = rng.normal(size=(4, 6))
+        malicious = np.stack([np.ones(6), 0.9 * np.ones(6)])
+        betas = aggregate_angle_to_group(benign, malicious)
+        expected = angles_to_reference(benign, malicious.sum(axis=0))
+        np.testing.assert_allclose(betas, expected)
+
+    def test_angle_summary_keys(self, rng):
+        summary = angle_summary(rng.normal(size=(4, 6)))
+        assert set(summary) == {"mean", "std", "max"}
+        empty = angle_summary(rng.normal(size=(1, 6)))
+        assert empty["mean"] == 0.0
+
+
+class TestSimilarity:
+    def test_identical_distributions_have_similarity_one(self):
+        counts = np.array([3, 4, 5])
+        assert cumulative_label_cosine(counts, counts) == pytest.approx(1.0)
+
+    def test_similarity_decreases_with_divergence(self):
+        aux = np.array([10, 0, 0])
+        close = np.array([9, 1, 0])
+        far = np.array([0, 0, 10])
+        assert cumulative_label_cosine(close, aux) > cumulative_label_cosine(far, aux)
+
+    def test_zero_counts_give_zero(self):
+        assert cumulative_label_cosine(np.zeros(3), np.array([1, 1, 1])) == 0.0
+
+    def test_cluster_similarity_averages_members(self):
+        client_counts = np.array([[10, 0], [0, 10], [5, 5]])
+        aux = np.array([10, 0])
+        clusters = {"close": np.array([0]), "far": np.array([1]), "empty": np.zeros(0, dtype=int)}
+        sims = cluster_similarity(client_counts, aux, clusters)
+        assert sims["close"] > sims["far"]
+        assert sims["empty"] == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2000))
+    def test_similarity_bounded(self, seed):
+        """Cosine of cumulative label distributions always lies in [0, 1]."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 20, size=6)
+        b = rng.integers(0, 20, size=6)
+        sim = cumulative_label_cosine(a, b)
+        assert -1e-9 <= sim <= 1.0 + 1e-9

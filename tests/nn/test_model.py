@@ -1,0 +1,80 @@
+"""Unit tests for model containers and factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn.model import Sequential, make_lenet, make_mlp, make_text_head
+from repro.nn.layers import Linear, ReLU
+from repro.nn.serialization import flatten_params, parameter_count
+
+
+class TestSequential:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_forward_backward_roundtrip(self, rng):
+        model = make_mlp(6, (8,), 3, seed=0)
+        x = rng.normal(size=(4, 6))
+        out = model.forward(x)
+        assert out.shape == (4, 3)
+        grad_in = model.backward(np.ones_like(out))
+        assert grad_in.shape == x.shape
+
+    def test_named_parameters_deterministic_order(self):
+        model = make_mlp(4, (5,), 2, seed=0)
+        names = [name for name, _ in model.named_parameters()]
+        assert names == [name for name, _ in model.named_parameters()]
+        assert all("." in name for name in names)
+
+    def test_predict_and_predict_proba(self, rng):
+        model = make_mlp(4, (), 3, seed=0)
+        x = rng.normal(size=(5, 4))
+        probs = model.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(5), atol=1e-9)
+        assert model.predict(x).shape == (5,)
+
+    def test_clone_is_independent(self, rng):
+        model = make_mlp(4, (5,), 2, seed=0)
+        clone = model.clone()
+        original = flatten_params(model).copy()
+        for _, param in clone.named_parameters():
+            param += 1.0
+        np.testing.assert_allclose(flatten_params(model), original)
+        assert not np.allclose(flatten_params(clone), original)
+
+
+class TestFactories:
+    def test_same_seed_gives_identical_models(self):
+        a = flatten_params(make_mlp(10, (8,), 4, seed=7))
+        b = flatten_params(make_mlp(10, (8,), 4, seed=7))
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seed_gives_different_models(self):
+        a = flatten_params(make_mlp(10, (8,), 4, seed=7))
+        b = flatten_params(make_mlp(10, (8,), 4, seed=8))
+        assert not np.allclose(a, b)
+
+    def test_mlp_without_hidden_layers_is_linear(self):
+        model = make_mlp(6, (), 3, seed=0)
+        assert len([l for l in model.layers if isinstance(l, Linear)]) == 1
+        assert not any(isinstance(l, ReLU) for l in model.layers)
+
+    def test_lenet_forward_shape(self, rng):
+        model = make_lenet(image_size=16, num_classes=7, seed=0)
+        out = model.forward(rng.normal(size=(2, 1, 16, 16)))
+        assert out.shape == (2, 7)
+
+    def test_lenet_rejects_bad_image_size(self):
+        with pytest.raises(ValueError):
+            make_lenet(image_size=10)
+
+    def test_text_head_forward_shape(self, rng):
+        model = make_text_head(embedding_dim=12, hidden=16, num_classes=2, seed=0)
+        out = model.forward(rng.normal(size=(3, 12)))
+        assert out.shape == (3, 2)
+
+    def test_parameter_count_positive(self):
+        assert parameter_count(make_mlp(4, (5,), 2, seed=0)) == 4 * 5 + 5 + 5 * 2 + 2
