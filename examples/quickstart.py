@@ -5,10 +5,16 @@ This script builds a synthetic FEMNIST-like federation, launches federated
 training with 12.5% of the clients compromised by CollaPois, and reports the
 population-level and client-level impact of the backdoor.
 
-Run with:  python examples/quickstart.py
+Run with:  python examples/quickstart.py [backend]
+
+``backend`` selects the client execution backend (``serial`` by default;
+``thread`` or ``process`` parallelise local training across clients with
+bit-identical results — see examples/parallel_backends.py).
 """
 
 from __future__ import annotations
+
+import sys
 
 from repro.experiments import ExperimentConfig, run_experiment
 from repro.experiments.results import format_table
@@ -16,7 +22,9 @@ from repro.metrics.client_level import top_k_metrics
 
 
 def main() -> None:
+    backend = sys.argv[1] if len(sys.argv) > 1 else "serial"
     config = ExperimentConfig(
+        backend=backend,
         dataset="femnist",
         num_clients=24,
         samples_per_client=36,

@@ -23,7 +23,7 @@ MESAS-style detector   :class:`~repro.defenses.detector.StatisticalDetector`
 =====================  =====================================================
 """
 
-from repro.defenses.base import Aggregator, MeanAggregator
+from repro.defenses.base import AggregationContext, Aggregator, MeanAggregator
 from repro.defenses.crfl import CRFL
 from repro.defenses.detector import StatisticalDetector
 from repro.defenses.ditto import DittoPersonalizer
@@ -38,6 +38,7 @@ from repro.defenses.signsgd import SignSGDAggregator
 from repro.defenses.trimmed_mean import TrimmedMean
 
 __all__ = [
+    "AggregationContext",
     "Aggregator",
     "MeanAggregator",
     "Krum",

@@ -2,7 +2,32 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 import numpy as np
+
+
+@dataclass
+class AggregationContext:
+    """Round-level information handed to an aggregator.
+
+    Replaces the old positional ``rng`` argument: defenses that need
+    randomness draw it from ``ctx.rng`` (the server's own stream, so noise
+    consumption stays deterministic per run seed), and defenses that want to
+    reason about the round (who was sampled, which round it is) now can.
+    ``round_idx`` is ``-1`` when the context was synthesised by the
+    legacy-call shim and no round information is available.
+    """
+
+    rng: np.random.Generator
+    round_idx: int = -1
+    sampled_clients: tuple[int, ...] = ()
+    extras: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_rng(cls, rng: np.random.Generator) -> "AggregationContext":
+        """Wrap a bare generator (legacy call sites) into a context."""
+        return cls(rng=rng)
 
 
 class Aggregator:
@@ -10,9 +35,13 @@ class Aggregator:
 
     ``updates`` is a ``(num_sampled_clients, param_dim)`` array; the return
     value is the length-``param_dim`` update the server adds to the global
-    model (scaled by the server learning rate).  ``global_params`` and ``rng``
-    are available for defenses that need them (e.g. CRFL smoothing noise, DP
-    noise, FLARE latent-space probes).
+    model (scaled by the server learning rate).  ``global_params`` and the
+    :class:`AggregationContext` are available for defenses that need them
+    (e.g. CRFL smoothing noise, DP noise, FLARE latent-space probes).
+
+    Back-compat: calling an aggregator with a bare ``np.random.Generator`` in
+    place of the context still works — the generator is wrapped into a
+    minimal :class:`AggregationContext` automatically.
     """
 
     name = "aggregator"
@@ -21,7 +50,7 @@ class Aggregator:
         self,
         updates: np.ndarray,
         global_params: np.ndarray,
-        rng: np.random.Generator,
+        ctx: AggregationContext,
     ) -> np.ndarray:
         raise NotImplementedError
 
@@ -29,13 +58,15 @@ class Aggregator:
         self,
         updates: np.ndarray,
         global_params: np.ndarray,
-        rng: np.random.Generator,
+        ctx: AggregationContext | np.random.Generator,
     ) -> np.ndarray:
         if updates.ndim != 2:
             raise ValueError("updates must be a (clients, dim) matrix")
         if updates.shape[0] == 0:
             raise ValueError("cannot aggregate an empty round")
-        return self.aggregate(updates, global_params, rng)
+        if isinstance(ctx, np.random.Generator):
+            ctx = AggregationContext.from_rng(ctx)
+        return self.aggregate(updates, global_params, ctx)
 
 
 class MeanAggregator(Aggregator):
@@ -47,6 +78,6 @@ class MeanAggregator(Aggregator):
         self,
         updates: np.ndarray,
         global_params: np.ndarray,
-        rng: np.random.Generator,
+        ctx: AggregationContext,
     ) -> np.ndarray:
         return updates.mean(axis=0)

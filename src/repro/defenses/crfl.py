@@ -26,14 +26,14 @@ class CRFL(Aggregator):
         self.param_clip = param_clip
         self.noise_std = noise_std
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         mean_update = updates.mean(axis=0)
         new_params = global_params + mean_update
         norm = float(np.linalg.norm(new_params))
         if norm > self.param_clip:
             new_params = new_params * (self.param_clip / norm)
         if self.noise_std > 0:
-            new_params = new_params + rng.normal(0.0, self.noise_std, size=new_params.shape)
+            new_params = new_params + ctx.rng.normal(0.0, self.noise_std, size=new_params.shape)
         # Return the equivalent update so the server's generic
         # ``θ ← θ + λ·aggregate`` step lands on the clipped, smoothed model.
         return new_params - global_params

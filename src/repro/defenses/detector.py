@@ -42,7 +42,7 @@ class StatisticalDetector(Aggregator):
             flags |= three_sigma_outliers(angles)
         return flags
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         flags = self.flag_updates(updates)
         self.last_flags = flags
         kept = updates[~flags]

@@ -27,7 +27,7 @@ class DPAggregator(Aggregator):
         self.clip_norm = clip_norm
         self.noise_multiplier = noise_multiplier
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         n = updates.shape[0]
         norms = np.linalg.norm(updates, axis=1, keepdims=True)
         scale = np.minimum(1.0, self.clip_norm / np.clip(norms, 1e-12, None))
@@ -35,5 +35,5 @@ class DPAggregator(Aggregator):
         aggregated = clipped.mean(axis=0)
         if self.noise_multiplier > 0:
             sigma = self.noise_multiplier * self.clip_norm / n
-            aggregated = aggregated + rng.normal(0.0, sigma, size=aggregated.shape)
+            aggregated = aggregated + ctx.rng.normal(0.0, sigma, size=aggregated.shape)
         return aggregated

@@ -39,6 +39,6 @@ class FLARE(Aggregator):
         weights = np.exp(scaled)
         return weights / weights.sum()
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         weights = self.trust_scores(updates)
         return (weights[:, None] * updates).sum(axis=0)

@@ -41,7 +41,7 @@ class Krum(Aggregator):
         sorted_d = np.sort(distances, axis=1)
         return sorted_d[:, :neighbors].sum(axis=1)
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         n = updates.shape[0]
         if n == 1:
             return updates[0]

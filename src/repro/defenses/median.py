@@ -12,5 +12,5 @@ class CoordinateMedian(Aggregator):
 
     name = "median"
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         return np.median(updates, axis=0)

@@ -27,11 +27,11 @@ class NormBound(Aggregator):
         self.max_norm = max_norm
         self.noise_std = noise_std
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         norms = np.linalg.norm(updates, axis=1, keepdims=True)
         scale = np.minimum(1.0, self.max_norm / np.clip(norms, 1e-12, None))
         clipped = updates * scale
         aggregated = clipped.mean(axis=0)
         if self.noise_std > 0:
-            aggregated = aggregated + rng.normal(0.0, self.noise_std, size=aggregated.shape)
+            aggregated = aggregated + ctx.rng.normal(0.0, self.noise_std, size=aggregated.shape)
         return aggregated

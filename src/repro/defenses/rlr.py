@@ -28,7 +28,7 @@ class RobustLearningRate(Aggregator):
         self.threshold = threshold
         self.threshold_fraction = threshold_fraction
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         n = updates.shape[0]
         threshold = self.threshold if self.threshold is not None else max(
             1, int(np.ceil(self.threshold_fraction * n))

@@ -22,6 +22,6 @@ class SignSGDAggregator(Aggregator):
             raise ValueError("step_size must be positive")
         self.step_size = step_size
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         vote = np.sign(np.sign(updates).sum(axis=0))
         return self.step_size * vote

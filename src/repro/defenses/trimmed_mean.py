@@ -21,7 +21,7 @@ class TrimmedMean(Aggregator):
             raise ValueError("trim_fraction must be in [0, 0.5)")
         self.trim_fraction = trim_fraction
 
-    def aggregate(self, updates, global_params, rng) -> np.ndarray:
+    def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         n = updates.shape[0]
         k = int(np.floor(self.trim_fraction * n))
         if k == 0 or n - 2 * k <= 0:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.federated.client import LocalTrainingConfig
+from repro.federated.engine.backends import available_backends
 
 
 @dataclass
@@ -37,6 +38,8 @@ class ExperimentConfig:
     local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
     seed: int = 0
     eval_every: int | None = None
+    backend: str = "serial"             # execution backend: "serial" | "thread" | "process"
+    backend_workers: int | None = None  # worker cap for parallel backends
 
     # Attack
     attack: str = "none"                # "none" | "collapois" | "dpois" | "mrepl" | "dba"
@@ -68,6 +71,14 @@ class ExperimentConfig:
             raise ValueError("an attack requires a positive compromised_fraction")
         if self.alpha <= 0:
             raise ValueError("alpha must be positive")
+        if self.backend not in available_backends():
+            raise ValueError(
+                f"unknown backend {self.backend!r}; available: {available_backends()}"
+            )
+        if self.backend_workers is not None and self.backend_workers <= 0:
+            raise ValueError("backend_workers must be positive")
+        if self.backend_workers is not None and self.backend == "serial":
+            raise ValueError("backend_workers requires a parallel backend ('thread' or 'process')")
         if self.dataset == "sentiment":
             # The text task is binary sentiment; force the matching geometry.
             self.num_classes = 2

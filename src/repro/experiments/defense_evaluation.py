@@ -26,16 +26,25 @@ def defense_sweep(
     base_config: ExperimentConfig,
     alphas: list[float],
     defenses: dict[str, dict] | None = None,
+    backend: str | None = None,
 ) -> list[dict]:
-    """Benign AC and Attack SR of CollaPois under each defense at each α."""
+    """Benign AC and Attack SR of CollaPois under each defense at each α.
+
+    ``backend`` optionally overrides the execution backend for every run of
+    the sweep (e.g. ``"thread"`` to parallelise client training per round).
+    """
     defenses = defenses if defenses is not None else DEFAULT_DEFENSES
+    if backend is not None:
+        base_config = base_config.with_overrides(backend=backend)
     rows: list[dict] = []
     for name, kwargs in defenses.items():
         if name in {"krum", "rlr"} and base_config.algorithm == "metafed":
             # Krum and RLR are "not applicable for MetaFed" (Fig. 9 caption).
             continue
         for alpha in alphas:
-            config = base_config.with_overrides(defense=name, defense_kwargs=dict(kwargs), alpha=alpha)
+            config = base_config.with_overrides(
+                defense=name, defense_kwargs=dict(kwargs), alpha=alpha
+            )
             result = run_experiment(config)
             rows.append(
                 {
@@ -55,8 +64,11 @@ def compromised_fraction_sweep(
     top_k_percents: list[float] = (1.0, 25.0, 50.0, 100.0),
     defense: str = "dp",
     defense_kwargs: dict | None = None,
+    backend: str | None = None,
 ) -> list[dict]:
     """Attack SR at several compromised fractions, overall and for top-k% clients."""
+    if backend is not None:
+        base_config = base_config.with_overrides(backend=backend)
     rows: list[dict] = []
     for fraction in fractions:
         config = base_config.with_overrides(

@@ -3,34 +3,55 @@
 Tracks Benign AC and Attack SR round by round for CollaPois and MRepl.  The
 paper's observation: MRepl causes an abrupt shift when its replacement round
 fires and then decays, whereas CollaPois rises steadily and persists.
+
+The per-round series is collected through the server's typed hook pipeline
+(a :class:`RoundSeriesHook` registered on top of the evaluation hook) rather
+than by scraping the history afterwards.
 """
 
 from __future__ import annotations
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import run_experiment
+from repro.federated.engine.hooks import RoundHook
+
+
+class RoundSeriesHook(RoundHook):
+    """Collects the per-round evaluation series as it is produced.
+
+    Runs after the server's :class:`~repro.federated.engine.hooks.EvaluationHook`
+    (constructor hooks are registered first), so the record already carries
+    the round's metrics when this hook sees it.
+    """
+
+    def __init__(self) -> None:
+        self.rows: list[dict] = []
+
+    def on_round_end(self, server, plan, record) -> None:
+        if record.benign_accuracy is None:
+            return
+        self.rows.append(
+            {
+                "round": record.round_idx,
+                "benign_accuracy": record.benign_accuracy,
+                "attack_success_rate": record.attack_success_rate,
+            }
+        )
 
 
 def longevity_analysis(
     base_config: ExperimentConfig,
     attacks: list[str] = ("collapois", "mrepl"),
     eval_every: int = 1,
+    backend: str | None = None,
 ) -> dict[str, list[dict]]:
     """Per-round Benign AC / Attack SR series for each attack."""
+    if backend is not None:
+        base_config = base_config.with_overrides(backend=backend)
     series: dict[str, list[dict]] = {}
     for attack in attacks:
         config = base_config.with_overrides(attack=attack, eval_every=eval_every)
-        result = run_experiment(config)
-        rows = []
-        for record in result.history.records:
-            if record.benign_accuracy is None:
-                continue
-            rows.append(
-                {
-                    "round": record.round_idx,
-                    "benign_accuracy": record.benign_accuracy,
-                    "attack_success_rate": record.attack_success_rate,
-                }
-            )
-        series[attack] = rows
+        collector = RoundSeriesHook()
+        run_experiment(config, hooks=[collector])
+        series[attack] = collector.rows
     return series

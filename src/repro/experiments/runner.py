@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 import numpy as np
 
 from repro.attacks.dba import DBAAttack
@@ -19,6 +21,8 @@ from repro.experiments.results import ExperimentResult
 from repro.federated.algorithms.fedavg import FedAvg
 from repro.federated.algorithms.feddc import FedDC
 from repro.federated.algorithms.metafed import MetaFed
+from repro.federated.engine.backends import make_backend
+from repro.federated.engine.hooks import RoundHook
 from repro.federated.server import FederatedServer, ServerConfig
 from repro.metrics.accuracy import evaluate_clients
 from repro.nn.layers import Flatten
@@ -131,8 +135,23 @@ def build_algorithm(config: ExperimentConfig):
     return MetaFed()
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Run a full experiment: build, train, evaluate at the client level."""
+def build_backend(config: ExperimentConfig):
+    """Instantiate the configured execution backend."""
+    if config.backend_workers is not None:
+        return make_backend(config.backend, max_workers=config.backend_workers)
+    return make_backend(config.backend)
+
+
+def run_experiment(
+    config: ExperimentConfig,
+    hooks: Sequence[RoundHook] | None = None,
+) -> ExperimentResult:
+    """Run a full experiment: build, train, evaluate at the client level.
+
+    ``hooks`` are extra round hooks registered on the server's pipeline —
+    the supported way to instrument a run (the evaluation hook derived from
+    ``config.eval_every`` is always registered through the constructor).
+    """
     dataset, generator = build_dataset(config)
     model_factory = build_model_factory(config, generator)
     trigger = build_trigger(config, generator)
@@ -155,6 +174,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         )
 
     eval_model = model_factory()
+    compromised_set = set(compromised)
+    benign_ids = [c for c in range(dataset.num_clients) if c not in compromised_set]
 
     server_config = ServerConfig(
         rounds=config.rounds,
@@ -165,18 +186,8 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
         eval_every=config.eval_every,
     )
 
-    server = FederatedServer(
-        dataset,
-        model_factory,
-        algorithm,
-        server_config,
-        aggregator=make_defense(config.defense, **config.defense_kwargs),
-        attack=attack,
-        compromised_ids=compromised,
-    )
-
+    eval_fn = None
     if config.eval_every:
-        benign_ids = [c for c in range(dataset.num_clients) if c not in set(compromised)]
 
         def eval_fn(global_params, round_idx):
             evaluation = evaluate_clients(
@@ -190,11 +201,23 @@ def run_experiment(config: ExperimentConfig) -> ExperimentResult:
             )
             return evaluation.as_dict()
 
-        server.eval_fn = eval_fn
+    server = FederatedServer(
+        dataset,
+        model_factory,
+        algorithm,
+        server_config,
+        aggregator=make_defense(config.defense, **config.defense_kwargs),
+        attack=attack,
+        compromised_ids=compromised,
+        eval_fn=eval_fn,
+        backend=build_backend(config),
+        hooks=hooks,
+    )
 
-    server.run()
-
-    benign_ids = [c for c in range(dataset.num_clients) if c not in set(compromised)]
+    try:
+        server.run()
+    finally:
+        server.close()
     evaluation = evaluate_clients(
         dataset,
         eval_model,

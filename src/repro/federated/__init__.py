@@ -20,7 +20,24 @@ from repro.federated.algorithms.fedavg import FedAvg
 from repro.federated.algorithms.feddc import FedDC
 from repro.federated.algorithms.metafed import MetaFed
 from repro.federated.client import LocalTrainingConfig, local_train
+from repro.federated.engine import (
+    CallbackHook,
+    ClientResult,
+    ClientTask,
+    EvaluationHook,
+    ExecutionBackend,
+    HookPipeline,
+    ProcessPoolBackend,
+    RoundHook,
+    RoundPlan,
+    SerialBackend,
+    ThreadPoolBackend,
+    available_backends,
+    build_round_plan,
+    make_backend,
+)
 from repro.federated.history import RoundRecord, TrainingHistory
+from repro.federated.rng import client_rng, client_stream_seed, personalization_seed
 from repro.federated.sampling import sample_clients
 from repro.federated.server import FederatedServer, ServerConfig
 
@@ -36,4 +53,21 @@ __all__ = [
     "sample_clients",
     "FederatedServer",
     "ServerConfig",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "available_backends",
+    "make_backend",
+    "RoundHook",
+    "HookPipeline",
+    "EvaluationHook",
+    "CallbackHook",
+    "ClientTask",
+    "ClientResult",
+    "RoundPlan",
+    "build_round_plan",
+    "client_rng",
+    "client_stream_seed",
+    "personalization_seed",
 ]

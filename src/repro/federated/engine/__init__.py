@@ -1,0 +1,53 @@
+"""Pluggable federated execution engine.
+
+Separates round *orchestration* (what the server decides: sampling,
+aggregation, bookkeeping) from client *execution* (how the per-client work
+runs: serially, on threads, on worker processes) and from *instrumentation*
+(typed round hooks).  See :mod:`repro.federated.engine.plan`,
+:mod:`repro.federated.engine.backends` and
+:mod:`repro.federated.engine.hooks`.
+"""
+
+from repro.federated.engine.backends import (
+    EngineContext,
+    ExecutionBackend,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    available_backends,
+    make_backend,
+    run_benign_task,
+    run_malicious_task,
+)
+from repro.federated.engine.hooks import (
+    CallbackHook,
+    EvaluationHook,
+    HookPipeline,
+    RoundHook,
+)
+from repro.federated.engine.plan import (
+    ClientResult,
+    ClientTask,
+    RoundPlan,
+    build_round_plan,
+)
+
+__all__ = [
+    "EngineContext",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "available_backends",
+    "make_backend",
+    "run_benign_task",
+    "run_malicious_task",
+    "RoundHook",
+    "HookPipeline",
+    "EvaluationHook",
+    "CallbackHook",
+    "ClientTask",
+    "ClientResult",
+    "RoundPlan",
+    "build_round_plan",
+]

@@ -1,0 +1,298 @@
+"""Execution backends: how a round plan's client work actually runs.
+
+The server is backend-agnostic: it builds a :class:`RoundPlan` and asks an
+:class:`ExecutionBackend` for the :class:`ClientResult` list in aggregation
+order.  Three backends are provided:
+
+* :class:`SerialBackend` — one worker model, clients in order; bit-identical
+  to the historical round loop and the default.
+* :class:`ThreadPoolBackend` — benign clients fan out over a thread pool with
+  a per-thread model pool.  NumPy releases the GIL inside its kernels, so
+  multi-core machines overlap client training.
+* :class:`ProcessPoolBackend` — benign clients fan out over forked worker
+  processes.  The pool is forked *per round* so workers always see the
+  current algorithm state (e.g. FedDC drift); this sidesteps pickling of
+  closure-based model factories and keeps results identical to serial.
+
+Malicious updates are always computed in the driver process, in task order:
+attacks are stateful by contract (``MRepl.attacked_rounds``, CollaPois'
+``psi_history``) and their cross-round state must live where the server can
+see it.  Benign updates only *read* shared state (dataset, algorithm state,
+global parameters), which is what makes them safe to parallelise.
+
+Because every task draws randomness exclusively from its own
+``(seed, round, client)`` stream (see :mod:`repro.federated.rng`), all three
+backends produce bit-identical :class:`~repro.federated.history.TrainingHistory`
+objects for the same run seed.  The one exception: models whose layers carry
+internal RNG state (``Dropout``) consume that state in backend-dependent
+order and void the guarantee — keep such models on the serial backend (the
+experiment runner's model factories are dropout-free by default).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+from collections.abc import Callable, Iterable
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.federated_data import FederatedDataset
+from repro.federated.algorithms.base import FederatedAlgorithm
+from repro.federated.client import LocalTrainingConfig
+from repro.federated.engine.plan import ClientResult, ClientTask, RoundPlan
+
+
+@dataclass
+class EngineContext:
+    """Everything a backend needs to execute client tasks."""
+
+    dataset: FederatedDataset
+    model_factory: Callable[[], object]
+    algorithm: FederatedAlgorithm
+    local_config: LocalTrainingConfig
+    attack: object | None = None
+
+
+def run_benign_task(
+    ctx: EngineContext, task: ClientTask, global_params: np.ndarray, model
+) -> ClientResult:
+    """Execute one benign client task on the given scratch model."""
+    update, loss = ctx.algorithm.benign_update(
+        task.client_id,
+        model,
+        global_params,
+        ctx.dataset.client(task.client_id).train,
+        ctx.local_config,
+        task.rng(),
+    )
+    return ClientResult(task=task, update=update, loss=loss)
+
+
+def run_malicious_task(
+    ctx: EngineContext, task: ClientTask, global_params: np.ndarray, model
+) -> ClientResult:
+    """Execute one compromised client task through the active attack."""
+    if ctx.attack is None:
+        raise RuntimeError("malicious task scheduled without an active attack")
+    update = ctx.attack.compute_update(
+        client_id=task.client_id,
+        global_params=global_params,
+        round_idx=task.round_idx,
+        model=model,
+        rng=task.rng(),
+    )
+    return ClientResult(task=task, update=update, loss=None)
+
+
+class ExecutionBackend:
+    """Strategy interface for executing a round plan's client work."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._ctx: EngineContext | None = None
+        self._driver_model = None
+
+    @property
+    def ctx(self) -> EngineContext:
+        if self._ctx is None:
+            raise RuntimeError(f"{type(self).__name__} is not bound to a server")
+        return self._ctx
+
+    def bind(self, ctx: EngineContext) -> None:
+        """Attach the backend to a server's execution context."""
+        self._ctx = ctx
+        # Rebinding to a different server must drop models built by the
+        # previous server's factory.
+        self._driver_model = None
+
+    def execute(self, plan: RoundPlan, global_params: np.ndarray) -> list[ClientResult]:
+        """Run every task in ``plan`` and return results in aggregation order."""
+        ctx = self.ctx
+        # Kick off benign work first: parallel backends submit it to their
+        # pool eagerly and hand back a lazy iterable, so driver-side
+        # malicious computation (which can be real training — DPois/DBA run
+        # local_train per compromised client) overlaps with the pool instead
+        # of stalling it.
+        benign_pending = self._start_benign(plan.benign_tasks, global_params)
+        results: dict[int, ClientResult] = {}
+        # Malicious tasks run in the driver so stateful attacks keep their
+        # cross-round bookkeeping (MRepl.attacked_rounds, psi_history).
+        for task in plan.malicious_tasks:
+            results[task.order] = run_malicious_task(
+                ctx, task, global_params, self._get_driver_model()
+            )
+        for result in benign_pending:
+            results[result.task.order] = result
+        return [results[order] for order in range(len(plan))]
+
+    def _start_benign(
+        self, tasks: tuple[ClientTask, ...], global_params: np.ndarray
+    ) -> Iterable[ClientResult]:
+        """Begin executing the benign tasks; the return value may be lazy."""
+        raise NotImplementedError
+
+    def _get_driver_model(self):
+        if self._driver_model is None:
+            self._driver_model = self.ctx.model_factory()
+        return self._driver_model
+
+    def close(self) -> None:
+        """Release worker resources (idempotent)."""
+
+
+class SerialBackend(ExecutionBackend):
+    """Default backend: every client runs in order on one scratch model."""
+
+    name = "serial"
+
+    def _start_benign(self, tasks, global_params):
+        ctx = self.ctx
+        model = self._get_driver_model()
+        # Lazy on purpose: benign work runs while execute() drains the
+        # iterator, after the (shared-scratch-model) malicious tasks finished.
+        return (run_benign_task(ctx, task, global_params, model) for task in tasks)
+
+
+class ThreadPoolBackend(ExecutionBackend):
+    """Fan benign clients out over threads with a pooled set of models."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._executor: ThreadPoolExecutor | None = None
+        self._models: queue.LifoQueue = queue.LifoQueue()
+
+    def bind(self, ctx: EngineContext) -> None:
+        super().bind(ctx)
+        self._models = queue.LifoQueue()
+
+    def _borrow_model(self):
+        try:
+            return self._models.get_nowait()
+        except queue.Empty:
+            # At most one model per in-flight task ever gets created, so the
+            # pool is bounded by ``max_workers``.
+            return self.ctx.model_factory()
+
+    def _start_benign(self, tasks, global_params):
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="fed-client"
+            )
+
+        def run(task: ClientTask) -> ClientResult:
+            model = self._borrow_model()
+            try:
+                return run_benign_task(self.ctx, task, global_params, model)
+            finally:
+                self._models.put(model)
+
+        # map() submits every task immediately; the returned iterator is
+        # drained by execute() after the driver-side malicious work.
+        return self._executor.map(run, tasks)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+
+# Fork-inherited state for ProcessPoolBackend workers.  Set in the parent
+# immediately before the per-round pool is forked; children read their
+# inherited snapshot, so no pickling of datasets/factories is needed (pool
+# initargs would be pickled, which the closure-based model factories are
+# not).  The module-global handoff is guarded by _FORK_LOCK so concurrent
+# process-backend rounds in one parent process serialize instead of forking
+# each other's state.
+_FORK_STATE: tuple[EngineContext, np.ndarray] | None = None
+_FORK_MODEL = None
+_FORK_LOCK = threading.Lock()
+
+
+def _fork_run_task(task: ClientTask) -> ClientResult:
+    global _FORK_MODEL
+    if _FORK_STATE is None:
+        raise RuntimeError("worker process has no inherited engine state")
+    ctx, global_params = _FORK_STATE
+    if _FORK_MODEL is None:
+        _FORK_MODEL = ctx.model_factory()
+    return run_benign_task(ctx, task, global_params, _FORK_MODEL)
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Fan benign clients out over forked worker processes.
+
+    The pool is created (forked) at the start of every round and torn down at
+    the end of it, so workers always inherit the *current* algorithm state —
+    FedDC's drift vectors change every round and a long-lived pool would act
+    on stale state.  Forking also sidesteps pickling: the closure-based model
+    factories used by the experiment runner are not picklable, but a forked
+    child inherits them.  Requires a platform with the ``fork`` start method
+    (Linux/macOS); :meth:`bind` raises elsewhere.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__()
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError("max_workers must be positive")
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+
+    def bind(self, ctx: EngineContext) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError(
+                "ProcessPoolBackend requires the 'fork' start method; "
+                "use ThreadPoolBackend on this platform"
+            )
+        super().bind(ctx)
+
+    def _start_benign(self, tasks, global_params):
+        # Eager by design: the per-round pool must be torn down before the
+        # results are used, and fork/teardown dominates any overlap gains.
+        global _FORK_STATE
+        if not tasks:
+            return []
+        workers = min(self.max_workers, len(tasks))
+        with _FORK_LOCK:
+            _FORK_STATE = (self.ctx, global_params)
+            try:
+                mp_ctx = multiprocessing.get_context("fork")
+                with ProcessPoolExecutor(max_workers=workers, mp_context=mp_ctx) as pool:
+                    chunksize = max(1, len(tasks) // workers)
+                    return list(pool.map(_fork_run_task, tasks, chunksize=chunksize))
+            finally:
+                _FORK_STATE = None
+
+
+_BACKENDS: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ThreadPoolBackend.name: ThreadPoolBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+
+def available_backends() -> list[str]:
+    """Names of every registered execution backend."""
+    return sorted(_BACKENDS)
+
+
+def make_backend(name: str, **kwargs) -> ExecutionBackend:
+    """Instantiate an execution backend by name."""
+    try:
+        cls = _BACKENDS[name]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
+        ) from exc
+    return cls(**kwargs)

@@ -1,0 +1,153 @@
+"""Typed round-pipeline hooks.
+
+Instead of hard-wiring evaluation (or any other instrumentation) into the
+server's round loop, the server dispatches four typed events per round:
+
+``on_round_start``
+    after sampling, before any client work — receives the :class:`RoundPlan`.
+``on_updates_collected``
+    after the backend returned all client results, before aggregation.
+``on_aggregated``
+    after the aggregated update was applied to the global model.
+``on_round_end``
+    after the :class:`~repro.federated.history.RoundRecord` was created and
+    appended; hooks may enrich the record in place (the built-in
+    :class:`EvaluationHook` fills in accuracy metrics this way).
+
+Hooks run in registration order; exceptions propagate (a broken hook should
+fail the run loudly, not corrupt a result silently).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.federated.engine.plan import ClientResult, RoundPlan
+from repro.federated.history import RoundRecord
+
+
+class RoundHook:
+    """Base class for round-pipeline observers; override any subset."""
+
+    def on_round_start(self, server, plan: RoundPlan) -> None:
+        """Called after sampling, before client execution."""
+
+    def on_updates_collected(
+        self, server, plan: RoundPlan, results: list[ClientResult]
+    ) -> None:
+        """Called once every client result for the round is available."""
+
+    def on_aggregated(self, server, plan: RoundPlan, aggregated: np.ndarray) -> None:
+        """Called after the aggregated update was applied to the global model."""
+
+    def on_round_end(self, server, plan: RoundPlan, record: RoundRecord) -> None:
+        """Called with the round's record; hooks may enrich it in place."""
+
+
+class HookPipeline:
+    """Ordered collection of :class:`RoundHook` instances."""
+
+    def __init__(self, hooks: Iterable[RoundHook] = ()) -> None:
+        self._hooks: list[RoundHook] = list(hooks)
+
+    def add(self, hook: RoundHook) -> RoundHook:
+        self._hooks.append(hook)
+        return hook
+
+    def insert(self, index: int, hook: RoundHook) -> RoundHook:
+        self._hooks.insert(index, hook)
+        return hook
+
+    def remove(self, hook: RoundHook) -> None:
+        self._hooks.remove(hook)
+
+    def __iter__(self) -> Iterator[RoundHook]:
+        return iter(self._hooks)
+
+    def __len__(self) -> int:
+        return len(self._hooks)
+
+    def round_start(self, server, plan: RoundPlan) -> None:
+        for hook in self._hooks:
+            hook.on_round_start(server, plan)
+
+    def updates_collected(self, server, plan: RoundPlan, results: list[ClientResult]) -> None:
+        for hook in self._hooks:
+            hook.on_updates_collected(server, plan, results)
+
+    def aggregated(self, server, plan: RoundPlan, aggregated: np.ndarray) -> None:
+        for hook in self._hooks:
+            hook.on_aggregated(server, plan, aggregated)
+
+    def round_end(self, server, plan: RoundPlan, record: RoundRecord) -> None:
+        for hook in self._hooks:
+            hook.on_round_end(server, plan, record)
+
+
+class EvaluationHook(RoundHook):
+    """Periodic evaluation of the global model, recorded on the round record.
+
+    ``eval_fn(global_params, round_idx)`` returns a metrics dict; the keys
+    ``benign_accuracy`` and ``attack_success_rate`` are promoted to the
+    record's typed fields and the full dict lands in ``record.extras``.
+
+    ``every=None`` defers the period to ``server.config.eval_every`` at round
+    time (the historical server semantics: assigning ``eval_fn`` before
+    enabling ``eval_every`` is fine, and evaluation stays off while
+    ``eval_every`` is unset).
+    """
+
+    def __init__(
+        self,
+        eval_fn: Callable[[np.ndarray, int], dict],
+        every: int | None = 1,
+    ) -> None:
+        if every is not None and every <= 0:
+            raise ValueError("every must be positive")
+        self.eval_fn = eval_fn
+        self.every = every
+
+    def on_round_end(self, server, plan: RoundPlan, record: RoundRecord) -> None:
+        every = self.every
+        if every is None:
+            every = getattr(server.config, "eval_every", None)
+        if not every or (record.round_idx + 1) % every:
+            return
+        metrics = self.eval_fn(server.global_params, record.round_idx)
+        record.benign_accuracy = metrics.get("benign_accuracy")
+        record.attack_success_rate = metrics.get("attack_success_rate")
+        record.extras.update(metrics)
+
+
+class CallbackHook(RoundHook):
+    """Adapter turning plain callables into a hook (handy for tests/scripts)."""
+
+    def __init__(
+        self,
+        on_round_start: Callable | None = None,
+        on_updates_collected: Callable | None = None,
+        on_aggregated: Callable | None = None,
+        on_round_end: Callable | None = None,
+    ) -> None:
+        self._round_start = on_round_start
+        self._updates_collected = on_updates_collected
+        self._aggregated = on_aggregated
+        self._round_end = on_round_end
+
+    def on_round_start(self, server, plan):
+        if self._round_start is not None:
+            self._round_start(server, plan)
+
+    def on_updates_collected(self, server, plan, results):
+        if self._updates_collected is not None:
+            self._updates_collected(server, plan, results)
+
+    def on_aggregated(self, server, plan, aggregated):
+        if self._aggregated is not None:
+            self._aggregated(server, plan, aggregated)
+
+    def on_round_end(self, server, plan, record):
+        if self._round_end is not None:
+            self._round_end(server, plan, record)

@@ -1,0 +1,107 @@
+"""Round planning: the value objects handed to an execution backend.
+
+The server turns each sampled round into a :class:`RoundPlan` — an immutable
+description of *what* has to be computed — and hands it to an
+:class:`~repro.federated.engine.backends.ExecutionBackend`, which decides
+*how* (serially, on a thread pool, on worker processes).  Determinism lives
+entirely in the plan: every task carries the seed of its private RNG stream,
+derived from ``(run seed, round, client)`` by :mod:`repro.federated.rng`, so
+the computed updates do not depend on execution order or placement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.federated.rng import client_stream_seed
+
+
+@dataclass(frozen=True)
+class ClientTask:
+    """One client's work item within a round.
+
+    ``order`` is the client's position in the round's aggregation order; the
+    backend returns results sorted by it so the stacked update matrix is
+    identical across backends.
+    """
+
+    client_id: int
+    round_idx: int
+    rng_seed: int
+    malicious: bool
+    order: int
+
+    def rng(self) -> np.random.Generator:
+        """Fresh generator for this task's private random stream."""
+        return np.random.default_rng(self.rng_seed)
+
+
+@dataclass(frozen=True)
+class RoundPlan:
+    """Immutable description of one federated round's client work."""
+
+    round_idx: int
+    sampled_clients: tuple[int, ...]
+    tasks: tuple[ClientTask, ...]
+
+    @property
+    def benign_tasks(self) -> tuple[ClientTask, ...]:
+        return tuple(t for t in self.tasks if not t.malicious)
+
+    @property
+    def malicious_tasks(self) -> tuple[ClientTask, ...]:
+        return tuple(t for t in self.tasks if t.malicious)
+
+    @property
+    def compromised_sampled(self) -> list[int]:
+        return [t.client_id for t in self.malicious_tasks]
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+@dataclass
+class ClientResult:
+    """Outcome of executing one :class:`ClientTask`.
+
+    ``loss`` is the final-epoch training loss for benign clients and ``None``
+    for malicious ones (attacks do not report a loss).
+    """
+
+    task: ClientTask
+    update: np.ndarray
+    loss: float | None = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def client_id(self) -> int:
+        return self.task.client_id
+
+    @property
+    def malicious(self) -> bool:
+        return self.task.malicious
+
+
+def build_round_plan(
+    round_idx: int,
+    sampled_clients: Iterable[int],
+    compromised_ids: set[int] | frozenset[int],
+    seed: int,
+    attack_active: bool,
+) -> RoundPlan:
+    """Build the task list for one round in aggregation order."""
+    sampled = tuple(int(c) for c in sampled_clients)
+    tasks = tuple(
+        ClientTask(
+            client_id=client_id,
+            round_idx=round_idx,
+            rng_seed=client_stream_seed(seed, round_idx, client_id),
+            malicious=attack_active and client_id in compromised_ids,
+            order=order,
+        )
+        for order, client_id in enumerate(sampled)
+    )
+    return RoundPlan(round_idx=round_idx, sampled_clients=sampled, tasks=tasks)

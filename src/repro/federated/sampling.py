@@ -1,8 +1,16 @@
-"""Client sampling for each federated round."""
+"""Client sampling for each federated round.
+
+Sampling consumes the *server's* RNG stream (not the per-client streams
+derived in :mod:`repro.federated.rng`), so the sampled set for round ``t`` is
+a pure function of the run seed and the number of preceding rounds — which is
+what lets every execution backend replay identical round plans.
+"""
 
 from __future__ import annotations
 
 import numpy as np
+
+__all__ = ["sample_clients"]
 
 
 def sample_clients(
@@ -15,7 +23,8 @@ def sample_clients(
 
     The paper samples each client independently with probability ``q``
     (q = 1% at paper scale).  To keep small simulations meaningful we enforce
-    a floor of ``min_clients`` sampled clients per round.
+    a floor of ``min_clients`` sampled clients per round.  The returned ids
+    are sorted, which fixes the round's aggregation order across backends.
     """
     if num_clients <= 0:
         raise ValueError("num_clients must be positive")

@@ -1,24 +1,32 @@
 """Federated server: the synchronous round loop of Algorithm 1.
 
-Each round the server samples clients, collects benign updates from the
-active training algorithm and malicious updates from the active attack
-(if any), aggregates them through the configured aggregator (plain mean or a
-robust defense), and applies the aggregated update with the server learning
-rate.  Per-round statistics are recorded in a :class:`TrainingHistory`.
+Each round the server samples clients, builds a :class:`RoundPlan`, hands it
+to the configured :class:`~repro.federated.engine.backends.ExecutionBackend`
+(serial by default; thread/process pools for parallel client execution),
+aggregates the collected updates through the configured aggregator (plain
+mean or a robust defense), and applies the aggregated update with the server
+learning rate.  Instrumentation — evaluation, logging, custom probes — is
+attached through the typed hook pipeline
+(:mod:`repro.federated.engine.hooks`) rather than baked into the loop.
+Per-round statistics are recorded in a :class:`TrainingHistory`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.data.federated_data import FederatedDataset
-from repro.defenses.base import Aggregator, MeanAggregator
+from repro.defenses.base import AggregationContext, Aggregator, MeanAggregator
 from repro.federated.algorithms.base import FederatedAlgorithm
 from repro.federated.client import LocalTrainingConfig
+from repro.federated.engine.backends import EngineContext, ExecutionBackend, make_backend
+from repro.federated.engine.hooks import EvaluationHook, HookPipeline, RoundHook
+from repro.federated.engine.plan import build_round_plan
 from repro.federated.history import RoundRecord, TrainingHistory
+from repro.federated.rng import personalization_seed
 from repro.federated.sampling import sample_clients
 from repro.nn.serialization import flatten_params
 
@@ -57,6 +65,8 @@ class FederatedServer:
         attack=None,
         compromised_ids: list[int] | None = None,
         eval_fn: Callable[[np.ndarray, int], dict] | None = None,
+        backend: ExecutionBackend | str | None = None,
+        hooks: Sequence[RoundHook] | None = None,
     ) -> None:
         self.dataset = dataset
         self.model_factory = model_factory
@@ -67,18 +77,68 @@ class FederatedServer:
         self.compromised_ids = set(compromised_ids or [])
         if self.attack is not None and not self.compromised_ids:
             raise ValueError("an attack requires at least one compromised client")
-        self.eval_fn = eval_fn
         self._rng = np.random.default_rng(config.seed)
-        # A single model instance is reused for all local training to avoid
-        # repeated allocation; its parameters are overwritten on each use.
+        # Driver-side scratch model for personalisation/evaluation helpers;
+        # parameters are overwritten on each use.  Also the source of the
+        # initial global parameters (flatten_params copies), saving a
+        # throwaway model allocation.
         self._worker_model = model_factory()
-        self.global_params = flatten_params(self.model_factory())
+        self.global_params = flatten_params(self._worker_model)
         self.algorithm.init_state(dataset.num_clients, self.global_params.shape[0])
         if hasattr(self.algorithm, "set_label_distributions"):
             self.algorithm.set_label_distributions(
                 np.stack([c.class_counts for c in dataset.clients])
             )
         self.history = TrainingHistory()
+
+        self.backend = backend if isinstance(backend, ExecutionBackend) else make_backend(
+            backend or "serial"
+        )
+        self.backend.bind(
+            EngineContext(
+                dataset=dataset,
+                model_factory=model_factory,
+                algorithm=algorithm,
+                local_config=config.local,
+                attack=attack,
+            )
+        )
+        # The evaluation hook is registered first so user hooks observe round
+        # records with metrics already filled in.
+        self.hooks = HookPipeline()
+        self._eval_hook: EvaluationHook | None = None
+        if eval_fn is not None:
+            self.eval_fn = eval_fn
+        for hook in hooks or ():
+            self.hooks.add(hook)
+
+    @property
+    def eval_fn(self) -> Callable[[np.ndarray, int], dict] | None:
+        """Evaluation callable, registered as an :class:`EvaluationHook`.
+
+        Kept as a property for backward compatibility: assigning
+        ``server.eval_fn = fn`` (the historical monkey-patch) re-registers the
+        evaluation hook instead of bypassing the pipeline.  Evaluation only
+        fires when ``config.eval_every`` is set, as before — the hook reads
+        ``config.eval_every`` at round time, so enabling it after assigning
+        ``eval_fn`` works too.
+        """
+        return self._eval_hook.eval_fn if self._eval_hook is not None else None
+
+    @eval_fn.setter
+    def eval_fn(self, fn: Callable[[np.ndarray, int], dict] | None) -> None:
+        if self._eval_hook is not None:
+            self.hooks.remove(self._eval_hook)
+            self._eval_hook = None
+        if fn is not None:
+            self._eval_hook = EvaluationHook(fn, every=None)
+            # Always first, so user hooks observe records with metrics filled
+            # in — even when eval_fn is (re)assigned after construction.
+            self.hooks.insert(0, self._eval_hook)
+
+    def add_hook(self, hook: RoundHook) -> RoundHook:
+        """Register a round hook; returns it for chaining."""
+        return self.hooks.add(hook)
 
     def run(self, rounds: int | None = None) -> TrainingHistory:
         """Execute the configured number of federated rounds."""
@@ -96,62 +156,49 @@ class FederatedServer:
             self._rng,
             min_clients=self.config.min_sampled_clients,
         )
-        updates: list[np.ndarray] = []
-        benign_losses: list[float] = []
-        benign_updates_by_client: dict[int, np.ndarray] = {}
-        compromised_sampled: list[int] = []
-        for client_id in sampled:
-            client_id = int(client_id)
-            client_rng = np.random.default_rng(
-                self.config.seed * 1_000_003 + round_idx * 1_009 + client_id
-            )
-            if self.attack is not None and client_id in self.compromised_ids:
-                update = self.attack.compute_update(
-                    client_id=client_id,
-                    global_params=self.global_params,
-                    round_idx=round_idx,
-                    model=self._worker_model,
-                    rng=client_rng,
-                )
-                compromised_sampled.append(client_id)
-            else:
-                update, loss = self.algorithm.benign_update(
-                    client_id,
-                    self._worker_model,
-                    self.global_params,
-                    self.dataset.client(client_id).train,
-                    self.config.local,
-                    client_rng,
-                )
-                benign_losses.append(loss)
-                benign_updates_by_client[client_id] = update
-            updates.append(update)
+        plan = build_round_plan(
+            round_idx,
+            sampled,
+            self.compromised_ids,
+            self.config.seed,
+            attack_active=self.attack is not None,
+        )
+        self.hooks.round_start(self, plan)
 
-        stacked = np.stack(updates)
-        aggregated = self.aggregator(stacked, self.global_params, self._rng)
+        results = self.backend.execute(plan, self.global_params)
+        self.hooks.updates_collected(self, plan, results)
+
+        benign_losses = [r.loss for r in results if not r.malicious]
+        benign_updates_by_client = {
+            r.client_id: r.update for r in results if not r.malicious
+        }
+
+        stacked = np.stack([r.update for r in results])
+        ctx = AggregationContext(
+            rng=self._rng,
+            round_idx=round_idx,
+            sampled_clients=plan.sampled_clients,
+        )
+        aggregated = self.aggregator(stacked, self.global_params, ctx)
         self.global_params = self.global_params + self.config.server_lr * aggregated
         self.algorithm.post_aggregate(self.global_params, benign_updates_by_client)
+        self.hooks.aggregated(self, plan, aggregated)
 
         record = RoundRecord(
             round_idx=round_idx,
-            sampled_clients=[int(c) for c in sampled],
-            compromised_sampled=compromised_sampled,
+            sampled_clients=list(plan.sampled_clients),
+            compromised_sampled=plan.compromised_sampled,
             mean_benign_loss=float(np.mean(benign_losses)) if benign_losses else 0.0,
             update_norm=float(np.linalg.norm(aggregated)),
         )
-        if self.eval_fn is not None and self.config.eval_every:
-            if (round_idx + 1) % self.config.eval_every == 0:
-                metrics = self.eval_fn(self.global_params, round_idx)
-                record.benign_accuracy = metrics.get("benign_accuracy")
-                record.attack_success_rate = metrics.get("attack_success_rate")
-                record.extras.update(metrics)
         self.history.append(record)
+        self.hooks.round_end(self, plan, record)
         return record
 
     def personalized_params(self, client_id: int, rng_seed: int | None = None) -> np.ndarray:
         """Personalised parameters of one client under the active algorithm."""
         rng = np.random.default_rng(
-            rng_seed if rng_seed is not None else self.config.seed * 31 + client_id
+            rng_seed if rng_seed is not None else personalization_seed(self.config.seed, client_id)
         )
         return self.algorithm.personalized_params(
             client_id,
@@ -161,3 +208,7 @@ class FederatedServer:
             self.config.local,
             rng,
         )
+
+    def close(self) -> None:
+        """Release backend worker resources (idempotent)."""
+        self.backend.close()

@@ -261,13 +261,19 @@ class Conv2d(Layer):
         grad_cols = grad_2d @ w_mat
         grad_cols = grad_cols.reshape(batch, out_h, out_w, self.in_channels, k, k)
 
+        # col2im scatter-add, vectorised over the output grid: instead of one
+        # small add per output position (out_h × out_w iterations) do one big
+        # strided add per kernel offset (k × k iterations).  Overlapping
+        # windows accumulate because the strided views cover disjoint slices
+        # per offset.
         grad_x = np.zeros(self._x_shape, dtype=np.float64)
         stride = self.stride
-        for i in range(out_h):
-            hi = i * stride
-            for j in range(out_w):
-                wj = j * stride
-                grad_x[:, :, hi : hi + k, wj : wj + k] += grad_cols[:, i, j]
+        offset_grads = grad_cols.transpose(0, 3, 4, 5, 1, 2)  # (B, C, kh, kw, oh, ow)
+        for ki in range(k):
+            for kj in range(k):
+                grad_x[
+                    :, :, ki : ki + stride * out_h : stride, kj : kj + stride * out_w : stride
+                ] += offset_grads[:, :, ki, kj]
         if self.padding:
             pad = self.padding
             grad_x = grad_x[:, :, pad:-pad, pad:-pad]
