@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro.defenses.base import AggregationContext
 from repro.defenses.registry import available_defenses, make_defense
 from repro.experiments.gradient_geometry import _collect_round_updates
 from repro.experiments.results import format_table
@@ -44,11 +45,11 @@ def test_table1_defenses_on_a_collapois_round(benchmark, femnist_bench_config):
     updates = np.vstack([benign, malicious])
     global_params = np.zeros(updates.shape[1])
     benign_mean = benign.mean(axis=0)
-    rng = np.random.default_rng(0)
+    ctx = AggregationContext(rng=np.random.default_rng(0))
     rows = []
     for name in TABLE1_ROWS + ["mean", "detector"]:
         defense = make_defense(name)
-        aggregated = defense(updates, global_params, rng)
+        aggregated = defense(updates, global_params, ctx)
         rows.append(
             {
                 "defense": name,

@@ -6,28 +6,35 @@ NormBound) leave the backdoor largely intact, while strong defenses (Krum,
 RLR) suppress it at the cost of benign accuracy — and compares CollaPois with
 the DPois baseline under the same conditions.
 
+The whole sweep is one :class:`~repro.experiments.suite.Suite` grid; each
+defense axis value is a component spec carrying the defense's kwargs, and
+the federation is built once and shared across all cells.  A JSON twin of
+this kind of sweep lives in ``examples/scenarios/defense_sweep.json``:
+
+    python -m repro sweep examples/scenarios/defense_sweep.json
+
 Run with:  python examples/attack_vs_defenses.py
 """
 
 from __future__ import annotations
 
-from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments import Scenario, Suite
 from repro.experiments.results import format_table
 
-DEFENSES = {
-    "mean (no defense)": ("mean", {}),
-    "DP-optimizer": ("dp", {"clip_norm": 2.0, "noise_multiplier": 0.002}),
-    "NormBound": ("norm_bound", {"max_norm": 2.0}),
-    "Krum": ("krum", {"num_malicious": 1, "multi": 3}),
-    "RLR": ("rlr", {"threshold_fraction": 0.6}),
-    "Trimmed mean": ("trimmed_mean", {"trim_fraction": 0.2}),
-    "Median": ("median", {}),
-    "FLARE": ("flare", {}),
-}
+DEFENSES = [
+    "mean",
+    "dp:clip_norm=2.0,noise_multiplier=0.002",
+    "norm_bound:max_norm=2.0",
+    "krum:num_malicious=1,multi=3",
+    "rlr:threshold_fraction=0.6",
+    "trimmed_mean:trim_fraction=0.2",
+    "median",
+    "flare",
+]
 
 
 def main() -> None:
-    base = ExperimentConfig(
+    base = Scenario(
         dataset="femnist",
         num_clients=24,
         samples_per_client=36,
@@ -40,24 +47,16 @@ def main() -> None:
         trojan_epochs=12,
         seed=7,
     )
-    rows = []
-    for attack in ("collapois", "dpois"):
-        for label, (defense, kwargs) in DEFENSES.items():
-            result = run_experiment(
-                base.with_overrides(attack=attack, defense=defense, defense_kwargs=dict(kwargs))
-            )
-            rows.append(
-                {
-                    "attack": attack,
-                    "defense": label,
-                    "benign_accuracy": result.benign_accuracy,
-                    "attack_success_rate": result.attack_success_rate,
-                }
-            )
-            print(
-                f"{attack:>10} | {label:<18} -> "
-                f"Benign AC {result.benign_accuracy:.2f}, Attack SR {result.attack_success_rate:.2f}"
-            )
+    suite = Suite.grid(
+        base, name="attack_vs_defenses", attack=["collapois", "dpois"], defense=DEFENSES
+    )
+    rows = suite.rows("attack", "defense")
+    for row in rows:
+        print(
+            f"{row['attack']:>10} | {row['defense']:<14} -> "
+            f"Benign AC {row['benign_accuracy']:.2f}, "
+            f"Attack SR {row['attack_success_rate']:.2f}"
+        )
     print()
     print(format_table(rows))
     print(

@@ -13,13 +13,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments import ExperimentConfig
+from repro.experiments import Scenario
 from repro.experiments.client_level import client_cluster_analysis, label_similarity_analysis
 from repro.experiments.results import format_table
 
 
 def main() -> None:
-    config = ExperimentConfig(
+    config = Scenario(
         dataset="femnist",
         num_clients=24,
         samples_per_client=36,

@@ -14,7 +14,7 @@ from __future__ import annotations
 import multiprocessing
 import time
 
-from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments import Scenario, run_experiment
 from repro.federated.engine import RoundHook, available_backends
 
 
@@ -31,7 +31,7 @@ class ProgressHook(RoundHook):
 
 
 def main() -> None:
-    config = ExperimentConfig(
+    config = Scenario(
         dataset="femnist",
         num_clients=20,
         samples_per_client=32,

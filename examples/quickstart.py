@@ -1,9 +1,12 @@
 #!/usr/bin/env python
 """Quickstart: run CollaPois against a small non-IID federation.
 
-This script builds a synthetic FEMNIST-like federation, launches federated
-training with 12.5% of the clients compromised by CollaPois, and reports the
-population-level and client-level impact of the backdoor.
+The experiment is a declarative :class:`~repro.experiments.scenario.Scenario`
+stored in ``examples/scenarios/collapois_quickstart.json`` — this script
+loads it, runs it, and reports the population-level and client-level impact
+of the backdoor.  The exact same run is available without Python:
+
+    python -m repro run examples/scenarios/collapois_quickstart.json
 
 Run with:  python examples/quickstart.py [backend]
 
@@ -15,34 +18,23 @@ bit-identical results — see examples/parallel_backends.py).
 from __future__ import annotations
 
 import sys
+from pathlib import Path
 
-from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments import Scenario
 from repro.experiments.results import format_table
 from repro.metrics.client_level import top_k_metrics
+
+SCENARIO = Path(__file__).parent / "scenarios" / "collapois_quickstart.json"
 
 
 def main() -> None:
     backend = sys.argv[1] if len(sys.argv) > 1 else "serial"
-    config = ExperimentConfig(
-        backend=backend,
-        dataset="femnist",
-        num_clients=24,
-        samples_per_client=36,
-        num_classes=6,
-        image_size=16,
-        alpha=0.2,                 # strongly non-IID (Dirichlet concentration)
-        rounds=18,
-        sample_rate=0.3,
-        attack="collapois",
-        compromised_fraction=0.125,
-        trojan_epochs=12,
-        seed=7,
-    )
+    scenario = Scenario.load(SCENARIO).with_overrides(backend=backend)
 
     print("Running CollaPois against a 24-client non-IID federation ...")
-    attacked = run_experiment(config)
+    attacked = scenario.run()
     print("Running the clean baseline (no attack) ...")
-    clean = run_experiment(config.with_overrides(attack="none"))
+    clean = scenario.with_overrides(attack="none").run()
 
     rows = [
         {

@@ -23,7 +23,7 @@ from repro.core.theory import (
     expected_angle_statistics,
     min_compromised_clients,
 )
-from repro.experiments import ExperimentConfig, run_experiment
+from repro.experiments import Scenario, run_experiment
 from repro.experiments.results import format_table
 from repro.nn.serialization import flatten_params
 
@@ -41,7 +41,7 @@ def theorem_1() -> None:
 
 
 def theorems_2_and_3() -> None:
-    config = ExperimentConfig(
+    config = Scenario(
         dataset="femnist", num_clients=20, samples_per_client=32, num_classes=6,
         image_size=16, alpha=0.2, rounds=16, sample_rate=0.35,
         attack="collapois", compromised_fraction=0.15, trojan_epochs=12, seed=5,

@@ -21,9 +21,9 @@ Quickstart
 0.93
 """
 
-from repro import analysis, attacks, core, data, defenses, federated, metrics, nn
+from repro import analysis, attacks, core, data, defenses, federated, metrics, nn, registry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "nn",
@@ -34,5 +34,6 @@ __all__ = [
     "defenses",
     "metrics",
     "analysis",
+    "registry",
     "__version__",
 ]

@@ -22,8 +22,10 @@ from repro.attacks.dpois import DPoisAttack
 from repro.attacks.triggers import PixelPatchTrigger, TokenTrigger, Trigger, poison_dataset
 from repro.data.dataset import Dataset
 from repro.federated.client import local_train
+from repro.registry import ATTACKS
 
 
+@ATTACKS.register("dba")
 class DBAAttack(BackdoorAttack):
     """Distributed backdoor attack with per-client trigger decomposition."""
 

@@ -17,8 +17,10 @@ from repro.attacks.base import BackdoorAttack
 from repro.attacks.triggers import poison_dataset
 from repro.data.dataset import Dataset
 from repro.federated.client import local_train
+from repro.registry import ATTACKS
 
 
+@ATTACKS.register("dpois")
 class DPoisAttack(BackdoorAttack):
     """Data poisoning: train locally on clean ∪ Trojaned data."""
 

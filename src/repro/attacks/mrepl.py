@@ -16,8 +16,10 @@ import numpy as np
 from repro.attacks.base import BackdoorAttack
 from repro.attacks.triggers import poison_dataset
 from repro.core.trojan import train_trojan_model
+from repro.registry import ATTACKS
 
 
+@ATTACKS.register("mrepl")
 class MReplAttack(BackdoorAttack):
     """Model replacement with an explicit boost factor."""
 

@@ -16,6 +16,7 @@ import numpy as np
 from scipy import ndimage
 
 from repro.data.dataset import Dataset
+from repro.registry import TRIGGERS
 
 
 class Trigger:
@@ -29,6 +30,7 @@ class Trigger:
         return self.apply(x)
 
 
+@TRIGGERS.register("warping")
 class WarpingTrigger(Trigger):
     """WaNet-style smooth elastic warping of images.
 
@@ -80,6 +82,7 @@ class WarpingTrigger(Trigger):
         return out
 
 
+@TRIGGERS.register("patch")
 class PixelPatchTrigger(Trigger):
     """Classic bright patch in a corner of the image.
 
@@ -156,6 +159,7 @@ class PixelPatchTrigger(Trigger):
         return parts
 
 
+@TRIGGERS.register("token")
 class TokenTrigger(Trigger):
     """Fixed-term text trigger operating in embedding space.
 

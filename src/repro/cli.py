@@ -1,0 +1,175 @@
+"""``python -m repro`` — run scenarios and sweeps without writing Python.
+
+Three subcommands::
+
+    python -m repro list [family]        # registered components + params
+    python -m repro run scenario.json    # run one scenario
+    python -m repro sweep suite.json     # run a sweep suite
+
+``run`` accepts ``--set key=value`` overrides (values parsed as literals,
+component fields accept spec strings like ``--set defense=krum:multi=3``)
+and ``--out results.json`` to write the scenario, summary and full
+per-round history as JSON — re-running that scenario file reproduces the
+history bit-identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.experiments.results import format_table
+from repro.experiments.scenario import Scenario
+from repro.experiments.suite import Suite
+from repro.registry import Registry, parse_literal
+
+
+def _add_run_overrides(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a scenario field (repeatable); values are parsed as "
+        "literals, component fields accept spec strings",
+    )
+    parser.add_argument(
+        "--backend", help="override the client-execution backend for every run"
+    )
+    parser.add_argument(
+        "--workers", type=int, help="worker cap for parallel backends"
+    )
+    parser.add_argument("--out", type=Path, help="write results as JSON")
+
+
+def _parse_overrides(pairs: list[str]) -> dict:
+    overrides = {}
+    for pair in pairs:
+        key, eq, value = pair.partition("=")
+        if not eq or not key:
+            raise SystemExit(f"error: malformed --set {pair!r}; expected key=value")
+        overrides[key.strip()] = parse_literal(value)
+    return overrides
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.family is None:
+        rows = [
+            {
+                "family": family,
+                "components": ", ".join(Registry.family(family).names()),
+            }
+            for family in Registry.families()
+        ]
+        print(format_table(rows))
+        return 0
+    registry = Registry.family(args.family)
+    rows = []
+    for name in registry.names():
+        params = ", ".join(str(p) for p in registry.describe(name))
+        rows.append({registry.family: name, "params": params or "(none)"})
+    print(format_table(rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = Scenario.load(args.scenario)
+    overrides = _parse_overrides(args.overrides)
+    if args.backend is not None:
+        overrides["backend"] = args.backend
+    if args.workers is not None:
+        overrides["backend_workers"] = args.workers
+    if overrides:
+        scenario = scenario.with_overrides(**overrides)
+    label = scenario.name or Path(args.scenario).stem
+    print(f"Running scenario {label!r} ({scenario.rounds} rounds, "
+          f"{scenario.num_clients} clients, backend={scenario.backend}) ...")
+    result = scenario.run()
+    print(format_table([{"scenario": label, **result.summary()}]))
+    if args.out is not None:
+        payload = {
+            "scenario": scenario.to_dict(),
+            "summary": result.summary(),
+            "compromised_ids": result.compromised_ids,
+            "history": result.history.to_dict(),
+        }
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"Wrote {args.out}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    suite = Suite.load(args.suite)
+    label = suite.name or Path(args.suite).stem
+    print(f"Running suite {label!r}: {len(suite)} cells ...")
+    cell_fields = sorted({key for cell in suite.cells for key in cell})
+    rows = suite.rows(
+        *cell_fields,
+        backend=args.backend,
+        backend_workers=args.workers,
+        cell_workers=args.cell_workers,
+    )
+    print(format_table(rows))
+    if args.out is not None:
+        payload = {"suite": suite.to_dict(), "rows": rows}
+        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"Wrote {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run CollaPois reproduction scenarios from the command line.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = sub.add_parser(
+        "list", help="list registered components of a family"
+    )
+    list_parser.add_argument(
+        "family",
+        nargs="?",
+        help="component family (defenses, attacks, datasets, models, "
+        "algorithms, triggers, backends); omit to list families",
+    )
+    list_parser.set_defaults(func=_cmd_list)
+
+    run_parser = sub.add_parser("run", help="run one scenario JSON file")
+    run_parser.add_argument("scenario", type=Path, help="path to a scenario JSON")
+    _add_run_overrides(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    sweep_parser = sub.add_parser("sweep", help="run a sweep-suite JSON file")
+    sweep_parser.add_argument("suite", type=Path, help="path to a suite JSON")
+    sweep_parser.add_argument(
+        "--backend", help="override the client-execution backend for every cell"
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, help="worker cap for parallel backends"
+    )
+    sweep_parser.add_argument(
+        "--cell-workers",
+        type=int,
+        default=1,
+        help="run this many sweep cells concurrently (default 1)",
+    )
+    sweep_parser.add_argument("--out", type=Path, help="write results as JSON")
+    sweep_parser.set_defaults(func=_cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, TypeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

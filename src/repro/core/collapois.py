@@ -20,8 +20,10 @@ from repro.attacks.base import BackdoorAttack
 from repro.attacks.triggers import poison_dataset
 from repro.core.stealth import StealthConfig, clip_update, upscale_update
 from repro.core.trojan import train_trojan_model
+from repro.registry import ATTACKS
 
 
+@ATTACKS.register("collapois")
 class CollaPoisAttack(BackdoorAttack):
     """Collaborative poisoning toward a shared Trojaned model X."""
 

@@ -20,8 +20,10 @@ import numpy as np
 from scipy import ndimage
 
 from repro.data.dataset import Dataset
+from repro.registry import DATASETS
 
 
+@DATASETS.register("femnist")
 class SyntheticFEMNIST:
     """Generator of FEMNIST-like prototype+noise character images."""
 

@@ -18,8 +18,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.registry import DATASETS
 
 
+@DATASETS.register("sentiment")
 class SyntheticSentiment:
     """Generator of class-conditional bag-of-embedding text features."""
 

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
+from repro.registry import DEFENSES
 
 
 @dataclass
@@ -65,10 +67,17 @@ class Aggregator:
         if updates.shape[0] == 0:
             raise ValueError("cannot aggregate an empty round")
         if isinstance(ctx, np.random.Generator):
+            warnings.warn(
+                "calling an Aggregator with a bare np.random.Generator is "
+                "deprecated; pass an AggregationContext instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             ctx = AggregationContext.from_rng(ctx)
         return self.aggregate(updates, global_params, ctx)
 
 
+@DEFENSES.register("mean")
 class MeanAggregator(Aggregator):
     """Plain FedAvg mean of client updates (no defense)."""
 

@@ -11,8 +11,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import Aggregator
+from repro.registry import DEFENSES
 
 
+@DEFENSES.register("crfl")
 class CRFL(Aggregator):
     """Aggregate by mean, then clip the resulting model and add noise."""
 

@@ -15,8 +15,10 @@ import numpy as np
 from repro.analysis.statistics import three_sigma_outliers
 from repro.defenses.base import Aggregator
 from repro.metrics.gradients import angles_to_reference
+from repro.registry import DEFENSES
 
 
+@DEFENSES.register("detector")
 class StatisticalDetector(Aggregator):
     """Filter updates flagged as outliers on norm or angle, then average."""
 

@@ -12,8 +12,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import Aggregator
+from repro.registry import DEFENSES
 
 
+@DEFENSES.register("dp")
 class DPAggregator(Aggregator):
     """Clip-and-noise aggregation (DP-optimizer style)."""
 

@@ -13,8 +13,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import Aggregator
+from repro.registry import DEFENSES
 
 
+@DEFENSES.register("krum")
 class Krum(Aggregator):
     """Krum (``multi=1``) / Multi-Krum (``multi>1``) aggregation."""
 

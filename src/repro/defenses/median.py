@@ -5,8 +5,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import Aggregator
+from repro.registry import DEFENSES
 
 
+@DEFENSES.register("median")
 class CoordinateMedian(Aggregator):
     """Element-wise median of the client updates."""
 

@@ -12,8 +12,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import Aggregator
+from repro.registry import DEFENSES
 
 
+@DEFENSES.register("norm_bound")
 class NormBound(Aggregator):
     """Clip each update to ``max_norm``, then average (plus optional noise)."""
 

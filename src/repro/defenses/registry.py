@@ -1,49 +1,28 @@
-"""Defense registry: build any Table-I defense from its name.
+"""Defense registry: build any Table-I defense from its name or spec.
 
-Used by the benchmark harness and the examples to sweep over defenses with a
-uniform interface.
+The family now lives in the unified component-registry layer
+(:data:`repro.registry.DEFENSES`); each defense registers itself with a
+``@DEFENSES.register("...")`` decorator in its own module.  This module keeps
+the historical convenience API (:func:`available_defenses`,
+:func:`make_defense`) used by the benchmark harness and the examples.
 """
 
 from __future__ import annotations
 
-from repro.defenses.base import Aggregator, MeanAggregator
-from repro.defenses.crfl import CRFL
-from repro.defenses.detector import StatisticalDetector
-from repro.defenses.dp import DPAggregator
-from repro.defenses.flare import FLARE
-from repro.defenses.krum import Krum
-from repro.defenses.median import CoordinateMedian
-from repro.defenses.norm_bound import NormBound
-from repro.defenses.rlr import RobustLearningRate
-from repro.defenses.signsgd import SignSGDAggregator
-from repro.defenses.trimmed_mean import TrimmedMean
-
-_DEFENSES: dict[str, type[Aggregator]] = {
-    "mean": MeanAggregator,
-    "krum": Krum,
-    "median": CoordinateMedian,
-    "trimmed_mean": TrimmedMean,
-    "norm_bound": NormBound,
-    "dp": DPAggregator,
-    "rlr": RobustLearningRate,
-    "signsgd": SignSGDAggregator,
-    "flare": FLARE,
-    "crfl": CRFL,
-    "detector": StatisticalDetector,
-}
+from repro.defenses.base import Aggregator
+from repro.registry import DEFENSES
 
 
 def available_defenses() -> list[str]:
     """Names of every registered aggregation defense."""
-    return sorted(_DEFENSES)
+    return DEFENSES.names()
 
 
 def make_defense(name: str, **kwargs) -> Aggregator:
-    """Instantiate a defense by name with optional keyword overrides."""
-    try:
-        cls = _DEFENSES[name]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown defense {name!r}; available: {', '.join(available_defenses())}"
-        ) from exc
-    return cls(**kwargs)
+    """Instantiate a defense by name or spec with optional keyword overrides.
+
+    ``name`` may be a bare name (``"krum"``) or a spec string carrying
+    kwargs (``"krum:num_malicious=2,multi=3"``); explicit ``kwargs`` are
+    applied first and spec-string arguments override them.
+    """
+    return DEFENSES.create(name, **kwargs)

@@ -13,8 +13,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import Aggregator
+from repro.registry import DEFENSES
 
 
+@DEFENSES.register("rlr")
 class RobustLearningRate(Aggregator):
     """Sign-agreement-based per-coordinate learning-rate flipping."""
 

@@ -10,8 +10,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import Aggregator
+from repro.registry import DEFENSES
 
 
+@DEFENSES.register("signsgd")
 class SignSGDAggregator(Aggregator):
     """Majority-vote sign aggregation with a fixed step size."""
 

@@ -9,8 +9,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro.defenses.base import Aggregator
+from repro.registry import DEFENSES
 
 
+@DEFENSES.register("trimmed_mean")
 class TrimmedMean(Aggregator):
     """Coordinate-wise trimmed mean."""
 

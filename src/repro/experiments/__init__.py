@@ -8,6 +8,8 @@ the regenerated rows; ``EXPERIMENTS.md`` records paper-vs-measured values.
 """
 
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.scenario import Scenario
+from repro.experiments.suite import CellResult, Suite
 from repro.experiments.runner import (
     build_attack,
     build_dataset,
@@ -28,6 +30,9 @@ from repro.experiments.client_level import client_cluster_analysis, label_simila
 from repro.experiments.longevity import longevity_analysis
 
 __all__ = [
+    "Scenario",
+    "Suite",
+    "CellResult",
     "ExperimentConfig",
     "ExperimentResult",
     "format_table",

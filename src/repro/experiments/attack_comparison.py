@@ -4,16 +4,20 @@
   Dirichlet α values for a given training algorithm and dataset (Figs. 8/15).
 * :func:`baseline_sensitivity_sweep` — DPois / MRepl at two compromised-client
   fractions across α, showing their insensitivity to both (Fig. 1).
+
+Both are thin :class:`~repro.experiments.suite.Suite` grids; the row order
+matches the historical nested loops (first axis outermost) and the values
+are identical run for run.
 """
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import Scenario
+from repro.experiments.suite import Suite
 
 
 def attack_comparison_sweep(
-    base_config: ExperimentConfig,
+    base_config: Scenario,
     alphas: list[float],
     attacks: list[str] = ("collapois", "dpois", "mrepl", "dba"),
 ) -> list[dict]:
@@ -23,25 +27,14 @@ def attack_comparison_sweep(
     ``benign_accuracy``, ``attack_success_rate`` — the series plotted in
     Figs. 8 and 15.
     """
-    rows: list[dict] = []
-    for attack in attacks:
-        for alpha in alphas:
-            config = base_config.with_overrides(attack=attack, alpha=alpha)
-            result = run_experiment(config)
-            rows.append(
-                {
-                    "attack": attack,
-                    "alpha": alpha,
-                    "algorithm": config.algorithm,
-                    "benign_accuracy": result.benign_accuracy,
-                    "attack_success_rate": result.attack_success_rate,
-                }
-            )
-    return rows
+    suite = Suite.grid(
+        base_config, name="attack_comparison", attack=list(attacks), alpha=list(alphas)
+    )
+    return suite.rows("attack", "alpha", "algorithm")
 
 
 def baseline_sensitivity_sweep(
-    base_config: ExperimentConfig,
+    base_config: Scenario,
     alphas: list[float],
     fractions: list[float] = (0.05, 0.15),
     attacks: list[str] = ("dpois", "mrepl"),
@@ -52,21 +45,11 @@ def baseline_sensitivity_sweep(
     the paper's point is that the spread across rows is modest for DPois and
     MRepl, which motivates CollaPois.
     """
-    rows: list[dict] = []
-    for attack in attacks:
-        for fraction in fractions:
-            for alpha in alphas:
-                config = base_config.with_overrides(
-                    attack=attack, alpha=alpha, compromised_fraction=fraction
-                )
-                result = run_experiment(config)
-                rows.append(
-                    {
-                        "attack": attack,
-                        "compromised_fraction": fraction,
-                        "alpha": alpha,
-                        "benign_accuracy": result.benign_accuracy,
-                        "attack_success_rate": result.attack_success_rate,
-                    }
-                )
-    return rows
+    suite = Suite.grid(
+        base_config,
+        name="baseline_sensitivity",
+        attack=list(attacks),
+        compromised_fraction=list(fractions),
+        alpha=list(alphas),
+    )
+    return suite.rows("attack", "compromised_fraction", "alpha")

@@ -1,90 +1,16 @@
-"""Declarative experiment configuration."""
+"""Backward-compatibility alias for the declarative experiment spec.
+
+The experiment-construction API was redesigned around
+:class:`repro.experiments.scenario.Scenario` (registry-validated,
+JSON-round-trippable, spec-string aware).  ``ExperimentConfig`` remains as a
+thin alias so existing code and serialised references keep working; new code
+should import :class:`Scenario` directly.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from repro.experiments.scenario import Scenario
 
-from repro.federated.client import LocalTrainingConfig
-from repro.federated.engine.backends import available_backends
+ExperimentConfig = Scenario
 
-
-@dataclass
-class ExperimentConfig:
-    """Everything needed to run one federated-training experiment.
-
-    Defaults are sized for laptop-scale smoke runs; the benchmark harness
-    scales ``num_clients`` / ``rounds`` up and the paper-scale parameters are
-    recorded in ``EXPERIMENTS.md``.
-    """
-
-    # Data
-    dataset: str = "femnist"            # "femnist" | "sentiment"
-    num_clients: int = 30
-    samples_per_client: int = 40
-    alpha: float = 0.5                  # Dirichlet concentration (non-IID level)
-    num_classes: int = 10
-    image_size: int = 16
-    data_seed: int = 0
-
-    # Model
-    model: str = "mlp"                  # "mlp" | "lenet" | "text"
-    hidden: tuple[int, ...] = (64,)
-
-    # Federated training
-    algorithm: str = "fedavg"           # "fedavg" | "feddc" | "metafed"
-    rounds: int = 15
-    sample_rate: float = 0.3
-    server_lr: float = 1.0
-    local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
-    seed: int = 0
-    eval_every: int | None = None
-    backend: str = "serial"             # execution backend: "serial" | "thread" | "process"
-    backend_workers: int | None = None  # worker cap for parallel backends
-
-    # Attack
-    attack: str = "none"                # "none" | "collapois" | "dpois" | "mrepl" | "dba"
-    compromised_fraction: float = 0.1
-    target_class: int = 0
-    trigger: str = "warping"            # "warping" | "patch" | "token"
-    psi_low: float = 0.9
-    psi_high: float = 1.0
-    clip_bound: float | None = None
-    trojan_epochs: int = 8
-
-    # Defense
-    defense: str = "mean"
-    defense_kwargs: dict = field(default_factory=dict)
-
-    # Evaluation
-    max_test_samples: int | None = 40
-
-    def __post_init__(self) -> None:
-        if self.dataset not in {"femnist", "sentiment"}:
-            raise ValueError("dataset must be 'femnist' or 'sentiment'")
-        if self.algorithm not in {"fedavg", "feddc", "metafed"}:
-            raise ValueError("algorithm must be one of fedavg/feddc/metafed")
-        if self.attack not in {"none", "collapois", "dpois", "mrepl", "dba"}:
-            raise ValueError("unknown attack")
-        if not 0.0 <= self.compromised_fraction < 1.0:
-            raise ValueError("compromised_fraction must be in [0, 1)")
-        if self.attack != "none" and self.compromised_fraction <= 0.0:
-            raise ValueError("an attack requires a positive compromised_fraction")
-        if self.alpha <= 0:
-            raise ValueError("alpha must be positive")
-        if self.backend not in available_backends():
-            raise ValueError(
-                f"unknown backend {self.backend!r}; available: {available_backends()}"
-            )
-        if self.backend_workers is not None and self.backend_workers <= 0:
-            raise ValueError("backend_workers must be positive")
-        if self.backend_workers is not None and self.backend == "serial":
-            raise ValueError("backend_workers requires a parallel backend ('thread' or 'process')")
-        if self.dataset == "sentiment":
-            # The text task is binary sentiment; force the matching geometry.
-            self.num_classes = 2
-            if self.model not in {"text", "mlp"}:
-                self.model = "text"
-
-    def with_overrides(self, **kwargs) -> "ExperimentConfig":
-        """Functional update: return a copy with the given fields replaced."""
-        return replace(self, **kwargs)
+__all__ = ["ExperimentConfig"]

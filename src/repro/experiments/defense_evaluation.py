@@ -5,12 +5,16 @@
 * :func:`compromised_fraction_sweep` — reducing the compromised fraction and
   reporting both the population average and the top-k% most affected clients
   (Figs. 10, 17–25).
+
+Both are :class:`~repro.experiments.suite.Suite` grids; the defense axis
+carries each defense's kwargs as a component spec, and the MetaFed
+exclusions of Fig. 9 are a suite ``filter``.
 """
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import Scenario
+from repro.experiments.suite import Suite
 from repro.metrics.client_level import top_k_metrics
 
 DEFAULT_DEFENSES: dict[str, dict] = {
@@ -21,9 +25,12 @@ DEFAULT_DEFENSES: dict[str, dict] = {
     "rlr": {"threshold_fraction": 0.6},
 }
 
+# Krum and RLR are "not applicable for MetaFed" (Fig. 9 caption).
+_METAFED_EXCLUDED = {"krum", "rlr"}
+
 
 def defense_sweep(
-    base_config: ExperimentConfig,
+    base_config: Scenario,
     alphas: list[float],
     defenses: dict[str, dict] | None = None,
     backend: str | None = None,
@@ -34,32 +41,19 @@ def defense_sweep(
     the sweep (e.g. ``"thread"`` to parallelise client training per round).
     """
     defenses = defenses if defenses is not None else DEFAULT_DEFENSES
-    if backend is not None:
-        base_config = base_config.with_overrides(backend=backend)
-    rows: list[dict] = []
-    for name, kwargs in defenses.items():
-        if name in {"krum", "rlr"} and base_config.algorithm == "metafed":
-            # Krum and RLR are "not applicable for MetaFed" (Fig. 9 caption).
-            continue
-        for alpha in alphas:
-            config = base_config.with_overrides(
-                defense=name, defense_kwargs=dict(kwargs), alpha=alpha
-            )
-            result = run_experiment(config)
-            rows.append(
-                {
-                    "defense": name,
-                    "alpha": alpha,
-                    "algorithm": config.algorithm,
-                    "benign_accuracy": result.benign_accuracy,
-                    "attack_success_rate": result.attack_success_rate,
-                }
-            )
-    return rows
+    suite = Suite.grid(
+        base_config,
+        name="defense_evaluation",
+        defense=[(name, dict(kwargs)) for name, kwargs in defenses.items()],
+        alpha=list(alphas),
+    ).filter(
+        lambda s: not (s.algorithm == "metafed" and s.defense in _METAFED_EXCLUDED)
+    )
+    return suite.rows("defense", "alpha", "algorithm", backend=backend)
 
 
 def compromised_fraction_sweep(
-    base_config: ExperimentConfig,
+    base_config: Scenario,
     fractions: list[float],
     top_k_percents: list[float] = (1.0, 25.0, 50.0, 100.0),
     defense: str = "dp",
@@ -67,22 +61,21 @@ def compromised_fraction_sweep(
     backend: str | None = None,
 ) -> list[dict]:
     """Attack SR at several compromised fractions, overall and for top-k% clients."""
-    if backend is not None:
-        base_config = base_config.with_overrides(backend=backend)
+    base = base_config.with_overrides(
+        defense=defense,
+        defense_kwargs=dict(defense_kwargs or DEFAULT_DEFENSES.get(defense, {})),
+    )
+    suite = Suite.grid(
+        base, name="compromised_fraction", compromised_fraction=list(fractions)
+    )
     rows: list[dict] = []
-    for fraction in fractions:
-        config = base_config.with_overrides(
-            compromised_fraction=fraction,
-            defense=defense,
-            defense_kwargs=dict(defense_kwargs or DEFAULT_DEFENSES.get(defense, {})),
-        )
-        result = run_experiment(config)
+    for cell in suite.run(backend=backend):
         for k in top_k_percents:
-            metrics = top_k_metrics(result.evaluation, k)
+            metrics = top_k_metrics(cell.result.evaluation, k)
             rows.append(
                 {
-                    "compromised_fraction": fraction,
-                    "defense": defense,
+                    "compromised_fraction": cell.scenario.compromised_fraction,
+                    "defense": cell.scenario.defense,
                     "top_k_percent": k,
                     "benign_accuracy": metrics["benign_accuracy"],
                     "attack_success_rate": metrics["attack_success_rate"],

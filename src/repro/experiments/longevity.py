@@ -4,15 +4,16 @@ Tracks Benign AC and Attack SR round by round for CollaPois and MRepl.  The
 paper's observation: MRepl causes an abrupt shift when its replacement round
 fires and then decays, whereas CollaPois rises steadily and persists.
 
-The per-round series is collected through the server's typed hook pipeline
-(a :class:`RoundSeriesHook` registered on top of the evaluation hook) rather
-than by scraping the history afterwards.
+The sweep is a one-axis :class:`~repro.experiments.suite.Suite`; the
+per-round series is collected through the server's typed hook pipeline (a
+:class:`RoundSeriesHook` built per cell by the suite's ``hooks_factory``)
+rather than by scraping the history afterwards.
 """
 
 from __future__ import annotations
 
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import Scenario
+from repro.experiments.suite import Suite
 from repro.federated.engine.hooks import RoundHook
 
 
@@ -40,18 +41,16 @@ class RoundSeriesHook(RoundHook):
 
 
 def longevity_analysis(
-    base_config: ExperimentConfig,
+    base_config: Scenario,
     attacks: list[str] = ("collapois", "mrepl"),
     eval_every: int = 1,
     backend: str | None = None,
 ) -> dict[str, list[dict]]:
     """Per-round Benign AC / Attack SR series for each attack."""
-    if backend is not None:
-        base_config = base_config.with_overrides(backend=backend)
-    series: dict[str, list[dict]] = {}
-    for attack in attacks:
-        config = base_config.with_overrides(attack=attack, eval_every=eval_every)
-        collector = RoundSeriesHook()
-        run_experiment(config, hooks=[collector])
-        series[attack] = collector.rows
-    return series
+    suite = Suite.grid(
+        base_config.with_overrides(eval_every=eval_every),
+        name="longevity",
+        attack=list(attacks),
+    )
+    results = suite.run(backend=backend, hooks_factory=lambda _s: [RoundSeriesHook()])
+    return {cell.scenario.attack: cell.hooks[0].rows for cell in results}

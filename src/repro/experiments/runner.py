@@ -1,4 +1,11 @@
-"""Generic experiment runner: config → federation → training → evaluation."""
+"""Generic experiment runner: scenario → federation → training → evaluation.
+
+Every component is resolved through the unified registries
+(:mod:`repro.registry`): the builders below only *wire* scenario fields into
+constructor kwargs — which components exist, and which kwargs they accept,
+lives with the components themselves.  Adding a new attack/defense/dataset
+therefore means registering it, not editing this module.
+"""
 
 from __future__ import annotations
 
@@ -6,39 +13,37 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.attacks.dba import DBAAttack
-from repro.attacks.dpois import DPoisAttack
-from repro.attacks.mrepl import MReplAttack
-from repro.attacks.triggers import PixelPatchTrigger, TokenTrigger, WarpingTrigger
-from repro.core.collapois import CollaPoisAttack
 from repro.core.stealth import StealthConfig
 from repro.data.federated_data import FederatedDataset, build_federated_dataset
-from repro.data.femnist import SyntheticFEMNIST
-from repro.data.sentiment import SyntheticSentiment
 from repro.defenses.registry import make_defense
-from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ExperimentResult
-from repro.federated.algorithms.fedavg import FedAvg
-from repro.federated.algorithms.feddc import FedDC
-from repro.federated.algorithms.metafed import MetaFed
+from repro.experiments.scenario import Scenario
 from repro.federated.engine.backends import make_backend
 from repro.federated.engine.hooks import RoundHook
 from repro.federated.server import FederatedServer, ServerConfig
 from repro.metrics.accuracy import evaluate_clients
 from repro.nn.layers import Flatten
-from repro.nn.model import Sequential, make_lenet, make_mlp, make_text_head
+from repro.nn.model import Sequential
+from repro.registry import ALGORITHMS, ATTACKS, DATASETS, MODELS, TRIGGERS
 
 
-def build_dataset(config: ExperimentConfig) -> tuple[FederatedDataset, object]:
-    """Build the federation and return it with its generator."""
-    if config.dataset == "femnist":
-        generator = SyntheticFEMNIST(
-            num_classes=config.num_classes,
-            image_size=config.image_size,
-            seed=config.data_seed,
-        )
-    else:
-        generator = SyntheticSentiment(num_classes=config.num_classes, seed=config.data_seed)
+def build_dataset(config: Scenario) -> tuple[FederatedDataset, object]:
+    """Build the federation and return it with its generator.
+
+    Geometry fields (``num_classes``, ``image_size``, ``data_seed``) are
+    forwarded to the generator when its constructor accepts them, so new
+    registered datasets pick up exactly the fields they understand;
+    ``dataset_kwargs`` overrides win.
+    """
+    accepted = {p.name for p in DATASETS.describe(config.dataset)}
+    common = {
+        "num_classes": config.num_classes,
+        "image_size": config.image_size,
+        "seed": config.data_seed,
+    }
+    kwargs = {k: v for k, v in common.items() if k in accepted}
+    kwargs.update(config.dataset_kwargs)
+    generator = DATASETS.create(config.dataset, **kwargs)
     dataset = build_federated_dataset(
         generator,
         num_clients=config.num_clients,
@@ -49,48 +54,68 @@ def build_dataset(config: ExperimentConfig) -> tuple[FederatedDataset, object]:
     return dataset, generator
 
 
-def build_model_factory(config: ExperimentConfig, generator):
+def _is_text_modality(generator) -> bool:
+    """Text generators expose pooled-embedding features, not images."""
+    return hasattr(generator, "embedding_dim")
+
+
+def build_model_factory(config: Scenario, generator):
     """Return a zero-argument callable producing fresh, identically-initialised models."""
     seed = config.seed
-    if config.dataset == "sentiment":
-        embedding_dim = generator.embedding_dim
-
-        def factory():
-            return make_text_head(
-                embedding_dim=embedding_dim,
-                hidden=config.hidden[0] if config.hidden else 64,
-                num_classes=config.num_classes,
-                seed=seed,
-            )
-
-        return factory
+    if _is_text_modality(generator):
+        kwargs = {
+            "embedding_dim": generator.embedding_dim,
+            "hidden": config.hidden[0] if config.hidden else 64,
+            "num_classes": config.num_classes,
+            "seed": seed,
+        }
+        kwargs.update(config.model_kwargs)
+        make_text = MODELS.get("text")
+        return lambda: make_text(**kwargs)
     if config.model == "lenet":
-
-        def factory():
-            return make_lenet(
-                image_size=config.image_size,
-                num_classes=config.num_classes,
-                seed=seed,
-            )
-
-        return factory
-
-    in_features = config.image_size * config.image_size
+        kwargs = {
+            "image_size": config.image_size,
+            "num_classes": config.num_classes,
+            "seed": seed,
+        }
+        kwargs.update(config.model_kwargs)
+        make_lenet = MODELS.get("lenet")
+        return lambda: make_lenet(**kwargs)
+    kwargs = {
+        "in_features": config.image_size * config.image_size,
+        "hidden": config.hidden,
+        "num_classes": config.num_classes,
+        "seed": seed,
+    }
+    kwargs.update(config.model_kwargs)
+    make_mlp = MODELS.get(config.model)
 
     def factory():
-        mlp = make_mlp(in_features, config.hidden, config.num_classes, seed=seed)
+        mlp = make_mlp(**kwargs)
         return Sequential([Flatten(), *mlp.layers])
 
     return factory
 
 
-def build_trigger(config: ExperimentConfig, generator):
+def build_trigger(config: Scenario, generator):
     """Instantiate the backdoor trigger matching the dataset modality."""
-    if config.dataset == "sentiment":
-        return TokenTrigger(generator.trigger_embedding(), scale=4.0)
-    if config.trigger == "patch":
-        return PixelPatchTrigger(config.image_size, patch_size=3)
-    return WarpingTrigger(config.image_size, strength=2.0, seed=config.seed + 7)
+    if _is_text_modality(generator):
+        return TRIGGERS.create(
+            "token",
+            trigger_embedding=generator.trigger_embedding(),
+            scale=4.0,
+            **config.trigger_kwargs,
+        )
+    common = {
+        "patch": {"image_size": config.image_size, "patch_size": 3},
+        "warping": {
+            "image_size": config.image_size,
+            "strength": 2.0,
+            "seed": config.seed + 7,
+        },
+    }.get(config.trigger, {"image_size": config.image_size})
+    common.update(config.trigger_kwargs)
+    return TRIGGERS.create(config.trigger, **common)
 
 
 def select_compromised_clients(
@@ -105,54 +130,60 @@ def select_compromised_clients(
     return sorted(int(c) for c in rng.choice(num_clients, size=count, replace=False))
 
 
-def build_attack(config: ExperimentConfig):
-    """Instantiate the configured attack object (or None)."""
+def build_attack(config: Scenario):
+    """Instantiate the configured attack object (or None).
+
+    Scenario fields provide each attack's conventional kwargs (the stealth
+    envelope for CollaPois, ``trojan_epochs`` for the model-level attacks);
+    ``attack_kwargs`` overrides and extends them.
+    """
     if config.attack == "none":
         return None
-    if config.attack == "collapois":
-        return CollaPoisAttack(
-            stealth=StealthConfig(
+    common = {
+        "collapois": {
+            "stealth": StealthConfig(
                 psi_low=config.psi_low,
                 psi_high=config.psi_high,
                 clip_bound=config.clip_bound,
             ),
-            trojan_epochs=config.trojan_epochs,
-        )
-    if config.attack == "dpois":
-        return DPoisAttack()
-    if config.attack == "mrepl":
-        return MReplAttack(trojan_epochs=config.trojan_epochs)
-    if config.attack == "dba":
-        return DBAAttack()
-    raise ValueError(f"unknown attack {config.attack!r}")
+            "trojan_epochs": config.trojan_epochs,
+        },
+        "mrepl": {"trojan_epochs": config.trojan_epochs},
+    }.get(config.attack, {})
+    common.update(config.attack_kwargs)
+    return ATTACKS.create(config.attack, **common)
 
 
-def build_algorithm(config: ExperimentConfig):
-    if config.algorithm == "fedavg":
-        return FedAvg()
-    if config.algorithm == "feddc":
-        return FedDC()
-    return MetaFed()
+def build_algorithm(config: Scenario):
+    """Instantiate the configured federated-training algorithm."""
+    return ALGORITHMS.create(config.algorithm, **config.algorithm_kwargs)
 
 
-def build_backend(config: ExperimentConfig):
+def build_backend(config: Scenario):
     """Instantiate the configured execution backend."""
-    if config.backend_workers is not None:
-        return make_backend(config.backend, max_workers=config.backend_workers)
-    return make_backend(config.backend)
+    return make_backend(config.backend, max_workers=config.backend_workers)
 
 
 def run_experiment(
-    config: ExperimentConfig,
+    config: Scenario,
     hooks: Sequence[RoundHook] | None = None,
+    prebuilt_data: tuple[FederatedDataset, object] | None = None,
 ) -> ExperimentResult:
     """Run a full experiment: build, train, evaluate at the client level.
 
     ``hooks`` are extra round hooks registered on the server's pipeline —
     the supported way to instrument a run (the evaluation hook derived from
     ``config.eval_every`` is always registered through the constructor).
+    ``prebuilt_data`` optionally supplies an already-built
+    ``(dataset, generator)`` pair whose construction parameters match the
+    scenario — :class:`~repro.experiments.suite.Suite` uses this to share
+    one federation across sweep cells; results are identical either way
+    because dataset construction is deterministic in ``data_seed``.
     """
-    dataset, generator = build_dataset(config)
+    if prebuilt_data is not None:
+        dataset, generator = prebuilt_data
+    else:
+        dataset, generator = build_dataset(config)
     model_factory = build_model_factory(config, generator)
     trigger = build_trigger(config, generator)
     algorithm = build_algorithm(config)
@@ -235,3 +266,4 @@ def run_experiment(
         compromised_ids=compromised,
         extras=extras,
     )
+

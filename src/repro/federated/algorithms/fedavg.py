@@ -11,8 +11,10 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.federated.algorithms.base import FederatedAlgorithm
 from repro.federated.client import LocalTrainingConfig, local_train
+from repro.registry import ALGORITHMS
 
 
+@ALGORITHMS.register("fedavg")
 class FedAvg(FederatedAlgorithm):
     """Federated averaging without personalisation."""
 

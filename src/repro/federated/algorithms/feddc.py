@@ -24,8 +24,10 @@ import numpy as np
 from repro.data.dataset import Dataset
 from repro.federated.algorithms.base import FederatedAlgorithm
 from repro.federated.client import LocalTrainingConfig, local_train
+from repro.registry import ALGORITHMS
 
 
+@ALGORITHMS.register("feddc")
 class FedDC(FederatedAlgorithm):
     """Drift-decoupling personalised federated learning."""
 

@@ -45,6 +45,7 @@ from repro.data.federated_data import FederatedDataset
 from repro.federated.algorithms.base import FederatedAlgorithm
 from repro.federated.client import LocalTrainingConfig
 from repro.federated.engine.plan import ClientResult, ClientTask, RoundPlan
+from repro.registry import BACKENDS
 
 
 @dataclass
@@ -146,6 +147,7 @@ class ExecutionBackend:
         """Release worker resources (idempotent)."""
 
 
+@BACKENDS.register("serial")
 class SerialBackend(ExecutionBackend):
     """Default backend: every client runs in order on one scratch model."""
 
@@ -159,6 +161,7 @@ class SerialBackend(ExecutionBackend):
         return (run_benign_task(ctx, task, global_params, model) for task in tasks)
 
 
+@BACKENDS.register("thread")
 class ThreadPoolBackend(ExecutionBackend):
     """Fan benign clients out over threads with a pooled set of models."""
 
@@ -229,6 +232,7 @@ def _fork_run_task(task: ClientTask) -> ClientResult:
     return run_benign_task(ctx, task, global_params, _FORK_MODEL)
 
 
+@BACKENDS.register("process")
 class ProcessPoolBackend(ExecutionBackend):
     """Fan benign clients out over forked worker processes.
 
@@ -275,24 +279,21 @@ class ProcessPoolBackend(ExecutionBackend):
                 _FORK_STATE = None
 
 
-_BACKENDS: dict[str, type[ExecutionBackend]] = {
-    SerialBackend.name: SerialBackend,
-    ThreadPoolBackend.name: ThreadPoolBackend,
-    ProcessPoolBackend.name: ProcessPoolBackend,
-}
-
-
 def available_backends() -> list[str]:
     """Names of every registered execution backend."""
-    return sorted(_BACKENDS)
+    return BACKENDS.names()
 
 
-def make_backend(name: str, **kwargs) -> ExecutionBackend:
-    """Instantiate an execution backend by name."""
-    try:
-        cls = _BACKENDS[name]
-    except KeyError as exc:
-        raise ValueError(
-            f"unknown backend {name!r}; available: {', '.join(available_backends())}"
-        ) from exc
-    return cls(**kwargs)
+def make_backend(
+    name: str, max_workers: int | None = None, **kwargs
+) -> ExecutionBackend:
+    """Instantiate an execution backend by name or spec.
+
+    ``max_workers`` is the single place the worker-cap special case lives:
+    ``None`` means "backend default" and is simply not passed on, so the
+    serial backend (which takes no worker cap) and the pool backends share
+    one construction path.
+    """
+    if max_workers is not None:
+        kwargs["max_workers"] = max_workers
+    return BACKENDS.create(name, **kwargs)

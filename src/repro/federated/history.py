@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
+
+from repro.registry import reject_unknown_keys
 
 
 @dataclass
@@ -17,6 +19,15 @@ class RoundRecord:
     benign_accuracy: float | None = None
     attack_success_rate: float | None = None
     extras: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-compatible plain-data form (floats kept at full precision)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RoundRecord":
+        reject_unknown_keys(data, {f.name for f in fields(cls)}, "round-record")
+        return cls(**data)
 
 
 @dataclass
@@ -39,3 +50,11 @@ class TrainingHistory:
         if not self.records:
             raise IndexError("history is empty")
         return self.records[-1]
+
+    def to_dict(self) -> dict:
+        """JSON-compatible plain-data form; round-trips bit-identically."""
+        return {"records": [record.to_dict() for record in self.records]}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrainingHistory":
+        return cls(records=[RoundRecord.from_dict(r) for r in data.get("records", [])])

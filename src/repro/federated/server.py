@@ -13,6 +13,7 @@ Per-round statistics are recorded in a :class:`TrainingHistory`.
 
 from __future__ import annotations
 
+import warnings
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
@@ -108,25 +109,12 @@ class FederatedServer:
         self.hooks = HookPipeline()
         self._eval_hook: EvaluationHook | None = None
         if eval_fn is not None:
-            self.eval_fn = eval_fn
+            self._install_eval_fn(eval_fn)
         for hook in hooks or ():
             self.hooks.add(hook)
 
-    @property
-    def eval_fn(self) -> Callable[[np.ndarray, int], dict] | None:
-        """Evaluation callable, registered as an :class:`EvaluationHook`.
-
-        Kept as a property for backward compatibility: assigning
-        ``server.eval_fn = fn`` (the historical monkey-patch) re-registers the
-        evaluation hook instead of bypassing the pipeline.  Evaluation only
-        fires when ``config.eval_every`` is set, as before — the hook reads
-        ``config.eval_every`` at round time, so enabling it after assigning
-        ``eval_fn`` works too.
-        """
-        return self._eval_hook.eval_fn if self._eval_hook is not None else None
-
-    @eval_fn.setter
-    def eval_fn(self, fn: Callable[[np.ndarray, int], dict] | None) -> None:
+    def _install_eval_fn(self, fn: Callable[[np.ndarray, int], dict] | None) -> None:
+        """(Re-)register the evaluation hook, always first in the pipeline."""
         if self._eval_hook is not None:
             self.hooks.remove(self._eval_hook)
             self._eval_hook = None
@@ -135,6 +123,35 @@ class FederatedServer:
             # Always first, so user hooks observe records with metrics filled
             # in — even when eval_fn is (re)assigned after construction.
             self.hooks.insert(0, self._eval_hook)
+
+    @property
+    def eval_fn(self) -> Callable[[np.ndarray, int], dict] | None:
+        """Deprecated accessor for the evaluation callable.
+
+        Kept for backward compatibility: assigning ``server.eval_fn = fn``
+        (the historical monkey-patch) re-registers the evaluation hook
+        instead of bypassing the pipeline.  Evaluation only fires when
+        ``config.eval_every`` is set, as before.  New code should pass
+        ``eval_fn`` to the constructor or register an
+        :class:`~repro.federated.engine.hooks.EvaluationHook` directly.
+        """
+        warnings.warn(
+            "FederatedServer.eval_fn is deprecated; pass eval_fn to the "
+            "constructor or register an EvaluationHook on server.hooks",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._eval_hook.eval_fn if self._eval_hook is not None else None
+
+    @eval_fn.setter
+    def eval_fn(self, fn: Callable[[np.ndarray, int], dict] | None) -> None:
+        warnings.warn(
+            "assigning FederatedServer.eval_fn is deprecated; pass eval_fn "
+            "to the constructor or register an EvaluationHook on server.hooks",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self._install_eval_fn(fn)
 
     def add_hook(self, hook: RoundHook) -> RoundHook:
         """Register a round hook; returns it for chaining."""

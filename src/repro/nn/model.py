@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.nn.layers import Conv2d, Dropout, Flatten, Layer, Linear, MaxPool2d, ReLU
 from repro.nn.losses import softmax
+from repro.registry import MODELS
 
 
 class Sequential:
@@ -77,6 +78,7 @@ class Sequential:
         return self.forward(x, training=training)
 
 
+@MODELS.register("mlp")
 def make_mlp(
     in_features: int,
     hidden: tuple[int, ...],
@@ -113,6 +115,7 @@ def make_mlp(
     return Sequential(layers)
 
 
+@MODELS.register("lenet")
 def make_lenet(
     image_size: int = 16,
     in_channels: int = 1,
@@ -147,6 +150,7 @@ def make_lenet(
     return Sequential(layers)
 
 
+@MODELS.register("text")
 def make_text_head(
     embedding_dim: int = 32,
     hidden: int = 64,

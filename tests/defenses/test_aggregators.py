@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.defenses.base import MeanAggregator
+from repro.defenses.base import AggregationContext, MeanAggregator
 from repro.defenses.crfl import CRFL
 from repro.defenses.dp import DPAggregator
 from repro.defenses.flare import FLARE
@@ -32,38 +32,38 @@ def outlier_update(rng):
 GLOBAL = np.zeros(40)
 
 
-def _rng():
-    return np.random.default_rng(0)
+def _ctx():
+    return AggregationContext(rng=np.random.default_rng(0))
 
 
 class TestMeanAggregator:
     def test_matches_numpy_mean(self, benign_updates):
-        out = MeanAggregator()(benign_updates, GLOBAL, _rng())
+        out = MeanAggregator()(benign_updates, GLOBAL, _ctx())
         np.testing.assert_allclose(out, benign_updates.mean(axis=0))
 
     def test_rejects_empty_round(self):
         with pytest.raises(ValueError):
-            MeanAggregator()(np.zeros((0, 4)), np.zeros(4), _rng())
+            MeanAggregator()(np.zeros((0, 4)), np.zeros(4), _ctx())
 
     def test_rejects_1d_input(self):
         with pytest.raises(ValueError):
-            MeanAggregator()(np.zeros(4), np.zeros(4), _rng())
+            MeanAggregator()(np.zeros(4), np.zeros(4), _ctx())
 
 
 class TestKrum:
     def test_selects_central_update_over_outlier(self, benign_updates, outlier_update):
         updates = np.vstack([benign_updates, outlier_update])
-        out = Krum(num_malicious=1, multi=1)(updates, GLOBAL, _rng())
+        out = Krum(num_malicious=1, multi=1)(updates, GLOBAL, _ctx())
         distances_to_benign = np.linalg.norm(benign_updates - out, axis=1)
         assert distances_to_benign.min() < np.linalg.norm(outlier_update - out)
 
     def test_multi_krum_averages_selected(self, benign_updates):
-        out = Krum(num_malicious=0, multi=len(benign_updates))(benign_updates, GLOBAL, _rng())
+        out = Krum(num_malicious=0, multi=len(benign_updates))(benign_updates, GLOBAL, _ctx())
         np.testing.assert_allclose(out, benign_updates.mean(axis=0), atol=1e-12)
 
     def test_single_update_returned_unchanged(self, rng):
         update = rng.normal(size=(1, 10))
-        np.testing.assert_allclose(Krum()(update, np.zeros(10), _rng()), update[0])
+        np.testing.assert_allclose(Krum()(update, np.zeros(10), _ctx()), update[0])
 
     def test_scores_lower_for_central_points(self, benign_updates, outlier_update):
         updates = np.vstack([benign_updates, outlier_update])
@@ -80,16 +80,16 @@ class TestKrum:
 class TestMedianAndTrimmedMean:
     def test_median_ignores_single_outlier(self, benign_updates, outlier_update):
         updates = np.vstack([benign_updates, outlier_update])
-        out = CoordinateMedian()(updates, GLOBAL, _rng())
+        out = CoordinateMedian()(updates, GLOBAL, _ctx())
         assert np.linalg.norm(out - benign_updates.mean(axis=0)) < 1.0
 
     def test_trimmed_mean_removes_extremes(self):
         updates = np.array([[0.0], [1.0], [2.0], [3.0], [100.0]])
-        out = TrimmedMean(trim_fraction=0.2)(updates, np.zeros(1), _rng())
+        out = TrimmedMean(trim_fraction=0.2)(updates, np.zeros(1), _ctx())
         assert out[0] == pytest.approx(2.0)
 
     def test_trimmed_mean_falls_back_to_mean_when_trim_zero(self, benign_updates):
-        out = TrimmedMean(trim_fraction=0.0)(benign_updates, GLOBAL, _rng())
+        out = TrimmedMean(trim_fraction=0.0)(benign_updates, GLOBAL, _ctx())
         np.testing.assert_allclose(out, benign_updates.mean(axis=0))
 
     def test_trimmed_mean_invalid_fraction(self):
@@ -100,23 +100,23 @@ class TestMedianAndTrimmedMean:
 class TestNormBoundAndDP:
     def test_norm_bound_clips_large_updates(self, benign_updates, outlier_update):
         updates = np.vstack([benign_updates, outlier_update])
-        bounded = NormBound(max_norm=1.0)(updates, GLOBAL, _rng())
-        unbounded = MeanAggregator()(updates, GLOBAL, _rng())
+        bounded = NormBound(max_norm=1.0)(updates, GLOBAL, _ctx())
+        unbounded = MeanAggregator()(updates, GLOBAL, _ctx())
         assert np.linalg.norm(bounded) < np.linalg.norm(unbounded)
 
     def test_norm_bound_keeps_small_updates_exact(self, rng):
         updates = rng.normal(size=(4, 10)) * 1e-3
-        out = NormBound(max_norm=10.0)(updates, np.zeros(10), _rng())
+        out = NormBound(max_norm=10.0)(updates, np.zeros(10), _ctx())
         np.testing.assert_allclose(out, updates.mean(axis=0))
 
     def test_dp_adds_noise(self, benign_updates):
-        clean = DPAggregator(clip_norm=10.0, noise_multiplier=0.0)(benign_updates, GLOBAL, _rng())
-        noisy = DPAggregator(clip_norm=10.0, noise_multiplier=1.0)(benign_updates, GLOBAL, _rng())
+        clean = DPAggregator(clip_norm=10.0, noise_multiplier=0.0)(benign_updates, GLOBAL, _ctx())
+        noisy = DPAggregator(clip_norm=10.0, noise_multiplier=1.0)(benign_updates, GLOBAL, _ctx())
         assert not np.allclose(clean, noisy)
 
     def test_dp_clipping_bounds_each_contribution(self, outlier_update):
         updates = np.stack([outlier_update, outlier_update])
-        out = DPAggregator(clip_norm=1.0, noise_multiplier=0.0)(updates, GLOBAL, _rng())
+        out = DPAggregator(clip_norm=1.0, noise_multiplier=0.0)(updates, GLOBAL, _ctx())
         assert np.linalg.norm(out) <= 1.0 + 1e-9
 
     def test_invalid_arguments(self):
@@ -132,14 +132,14 @@ class TestRLR:
     def test_flips_coordinates_without_agreement(self):
         # Three clients agree on coordinate 0, disagree on coordinate 1.
         updates = np.array([[1.0, 1.0], [1.0, -1.0], [1.0, 1.0], [1.0, -1.0]])
-        out = RobustLearningRate(threshold=3)(updates, np.zeros(2), _rng())
+        out = RobustLearningRate(threshold=3)(updates, np.zeros(2), _ctx())
         mean = updates.mean(axis=0)
         assert out[0] == pytest.approx(mean[0])
         assert out[1] == pytest.approx(-mean[1])
 
     def test_full_agreement_is_plain_mean(self, benign_updates):
         positive = np.abs(benign_updates)
-        out = RobustLearningRate(threshold_fraction=0.9)(positive, GLOBAL, _rng())
+        out = RobustLearningRate(threshold_fraction=0.9)(positive, GLOBAL, _ctx())
         np.testing.assert_allclose(out, positive.mean(axis=0))
 
     def test_invalid_arguments(self):
@@ -152,7 +152,7 @@ class TestRLR:
 class TestSignSGD:
     def test_output_is_sign_vote_scaled(self):
         updates = np.array([[1.0, -2.0], [3.0, -1.0], [-0.5, -4.0]])
-        out = SignSGDAggregator(step_size=0.1)(updates, np.zeros(2), _rng())
+        out = SignSGDAggregator(step_size=0.1)(updates, np.zeros(2), _ctx())
         np.testing.assert_allclose(out, [0.1, -0.1])
 
     def test_invalid_step(self):
@@ -172,8 +172,8 @@ class TestFLARE:
 
     def test_aggregate_downweights_outlier(self, benign_updates, outlier_update):
         updates = np.vstack([benign_updates, outlier_update])
-        flare_out = FLARE()(updates, GLOBAL, _rng())
-        mean_out = MeanAggregator()(updates, GLOBAL, _rng())
+        flare_out = FLARE()(updates, GLOBAL, _ctx())
+        mean_out = MeanAggregator()(updates, GLOBAL, _ctx())
         benign_mean = benign_updates.mean(axis=0)
         assert np.linalg.norm(flare_out - benign_mean) < np.linalg.norm(mean_out - benign_mean)
 
@@ -186,12 +186,12 @@ class TestCRFL:
     def test_clips_resulting_model_norm(self, rng):
         updates = rng.normal(size=(3, 20)) * 100
         global_params = rng.normal(size=20) * 100
-        out = CRFL(param_clip=1.0, noise_std=0.0)(updates, global_params, _rng())
+        out = CRFL(param_clip=1.0, noise_std=0.0)(updates, global_params, _ctx())
         assert np.linalg.norm(global_params + out) <= 1.0 + 1e-9
 
     def test_noise_perturbs_model(self, benign_updates):
-        a = CRFL(param_clip=100.0, noise_std=0.0)(benign_updates, GLOBAL, _rng())
-        b = CRFL(param_clip=100.0, noise_std=0.1)(benign_updates, GLOBAL, _rng())
+        a = CRFL(param_clip=100.0, noise_std=0.0)(benign_updates, GLOBAL, _ctx())
+        b = CRFL(param_clip=100.0, noise_std=0.1)(benign_updates, GLOBAL, _ctx())
         assert not np.allclose(a, b)
 
     def test_invalid_arguments(self):
@@ -199,3 +199,10 @@ class TestCRFL:
             CRFL(param_clip=0.0)
         with pytest.raises(ValueError):
             CRFL(noise_std=-1.0)
+
+
+class TestLegacyGeneratorShim:
+    def test_bare_generator_call_warns_and_still_aggregates(self, benign_updates):
+        with pytest.warns(DeprecationWarning, match="AggregationContext"):
+            out = MeanAggregator()(benign_updates, GLOBAL, np.random.default_rng(0))
+        np.testing.assert_allclose(out, benign_updates.mean(axis=0))

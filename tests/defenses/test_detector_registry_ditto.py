@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.defenses.base import Aggregator
+from repro.defenses.base import AggregationContext, Aggregator
 from repro.defenses.detector import StatisticalDetector
 from repro.defenses.ditto import DittoPersonalizer
 from repro.defenses.registry import available_defenses, make_defense
@@ -36,14 +36,14 @@ class TestStatisticalDetector:
         benign = rng.normal(0, 0.1, size=(20, 10))
         attacker = np.full(10, 100.0)
         updates = np.vstack([benign, attacker])
-        out = StatisticalDetector()(updates, np.zeros(10), rng)
+        out = StatisticalDetector()(updates, np.zeros(10), AggregationContext(rng=rng))
         assert np.linalg.norm(out - benign.mean(axis=0)) < 1.0
 
     def test_all_flagged_falls_back_to_median(self, rng):
         # Two wildly different updates: flagging logic may flag none or all;
         # the aggregate must still be finite and well-defined.
         updates = np.stack([np.full(5, 1000.0), np.full(5, -1000.0)])
-        out = StatisticalDetector()(updates, np.zeros(5), rng)
+        out = StatisticalDetector()(updates, np.zeros(5), AggregationContext(rng=rng))
         assert np.all(np.isfinite(out))
 
     def test_detection_report_metrics(self, rng):

@@ -1,0 +1,108 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.scenario import Scenario
+from repro.experiments.suite import Suite
+
+
+@pytest.fixture()
+def tiny_scenario_path(tmp_path):
+    Scenario(
+        name="cli-smoke",
+        num_clients=8,
+        samples_per_client=12,
+        num_classes=4,
+        image_size=12,
+        alpha=0.3,
+        rounds=2,
+        sample_rate=0.5,
+        attack="collapois",
+        compromised_fraction=0.2,
+        trojan_epochs=2,
+        seed=3,
+        max_test_samples=12,
+    ).save(tmp_path / "scenario.json")
+    return tmp_path / "scenario.json"
+
+
+class TestList:
+    def test_list_families(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "defense" in out and "attack" in out and "backend" in out
+
+    def test_list_family_members_with_params(self, capsys):
+        assert main(["list", "defenses"]) == 0
+        out = capsys.readouterr().out
+        assert "krum" in out and "num_malicious=1" in out
+
+    def test_unknown_family_fails_cleanly(self, capsys):
+        assert main(["list", "gizmos"]) == 2
+        assert "unknown component family" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_prints_summary(self, tiny_scenario_path, capsys):
+        assert main(["run", str(tiny_scenario_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-smoke" in out and "benign_accuracy" in out
+
+    def test_run_with_overrides_and_out(self, tiny_scenario_path, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        rc = main(
+            [
+                "run",
+                str(tiny_scenario_path),
+                "--set",
+                "defense=norm_bound:max_norm=2.0",
+                "--set",
+                "rounds=1",
+                "--out",
+                str(out_path),
+            ]
+        )
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["scenario"]["defense"] == "norm_bound"
+        assert payload["scenario"]["defense_kwargs"] == {"max_norm": 2.0}
+        assert payload["scenario"]["rounds"] == 1
+        assert len(payload["history"]["records"]) == 1
+        assert "benign_accuracy" in payload["summary"]
+
+    def test_run_rejects_unknown_scenario_key(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"allpha": 0.1}')
+        assert main(["run", str(bad)]) == 2
+        assert "did you mean 'alpha'" in capsys.readouterr().err
+
+    def test_run_missing_file(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+
+
+class TestSweep:
+    def test_sweep_prints_rows(self, tmp_path, capsys):
+        base = Scenario(
+            num_clients=8,
+            samples_per_client=12,
+            num_classes=4,
+            image_size=12,
+            alpha=0.3,
+            rounds=1,
+            sample_rate=0.5,
+            attack="collapois",
+            compromised_fraction=0.2,
+            trojan_epochs=2,
+            seed=3,
+            max_test_samples=12,
+        )
+        suite_path = tmp_path / "suite.json"
+        Suite.grid(base, name="cli-sweep", defense=["mean", "median"]).save(suite_path)
+        assert main(["sweep", str(suite_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-sweep" in out and "median" in out and "benign_accuracy" in out

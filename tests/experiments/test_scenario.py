@@ -1,0 +1,197 @@
+"""Unit and round-trip tests for the declarative Scenario spec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import Scenario
+from repro.federated.client import LocalTrainingConfig
+from repro.federated.history import TrainingHistory
+
+
+def tiny_scenario(**overrides) -> Scenario:
+    base = dict(
+        num_clients=8,
+        samples_per_client=12,
+        num_classes=4,
+        image_size=12,
+        alpha=0.3,
+        rounds=2,
+        sample_rate=0.5,
+        attack="collapois",
+        compromised_fraction=0.2,
+        trojan_epochs=2,
+        seed=3,
+        max_test_samples=12,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestCompatibilityAlias:
+    def test_experiment_config_is_scenario(self):
+        assert ExperimentConfig is Scenario
+        assert isinstance(ExperimentConfig(), Scenario)
+
+
+class TestComponentSpecs:
+    def test_spec_string_splits_into_name_and_kwargs(self):
+        scenario = Scenario(defense="krum:num_malicious=2,multi=3")
+        assert scenario.defense == "krum"
+        assert scenario.defense_kwargs == {"num_malicious": 2, "multi": 3}
+
+    def test_tuple_spec(self):
+        scenario = Scenario(defense=("dp", {"clip_norm": 2.0}))
+        assert scenario.defense == "dp"
+        assert scenario.defense_kwargs == {"clip_norm": 2.0}
+
+    def test_spec_kwargs_merge_over_existing_kwargs(self):
+        scenario = Scenario(
+            defense="krum:multi=3", defense_kwargs={"num_malicious": 2, "multi": 1}
+        )
+        assert scenario.defense_kwargs == {"num_malicious": 2, "multi": 3}
+
+    def test_attack_and_algorithm_specs(self):
+        scenario = Scenario(
+            attack="collapois:poison_fraction=0.25",
+            algorithm="feddc:drift_lr=0.4",
+            compromised_fraction=0.1,
+        )
+        assert scenario.attack == "collapois"
+        assert scenario.attack_kwargs == {"poison_fraction": 0.25}
+        assert scenario.algorithm == "feddc"
+        assert scenario.algorithm_kwargs == {"drift_lr": 0.4}
+
+    def test_backend_spec_maps_max_workers(self):
+        scenario = Scenario(backend="thread:max_workers=4")
+        assert scenario.backend == "thread"
+        assert scenario.backend_workers == 4
+
+    def test_backend_spec_rejects_other_kwargs(self):
+        with pytest.raises(ValueError, match="only accepts max_workers"):
+            Scenario(backend="thread:frobnicate=1")
+
+    def test_local_dict_coerced_to_config(self):
+        scenario = Scenario(local={"epochs": 2, "batch_size": 4})
+        assert scenario.local == LocalTrainingConfig(epochs=2, batch_size=4)
+
+    def test_local_dict_unknown_key(self):
+        with pytest.raises(ValueError, match="unknown local-training key"):
+            Scenario(local={"epohcs": 2})
+
+    def test_override_to_new_component_resets_stale_kwargs(self):
+        scenario = Scenario(defense="dp:clip_norm=2.0,noise_multiplier=0.002")
+        switched = scenario.with_overrides(defense="median")
+        assert switched.defense_kwargs == {}
+        respecced = scenario.with_overrides(defense="krum:multi=3")
+        assert respecced.defense_kwargs == {"multi": 3}
+
+    def test_override_keeps_explicit_kwargs(self):
+        scenario = Scenario(defense="dp:clip_norm=2.0")
+        kept = scenario.with_overrides(defense="krum", defense_kwargs={"multi": 2})
+        assert kept.defense_kwargs == {"multi": 2}
+
+    def test_sentiment_model_replacement_drops_image_model_kwargs(self):
+        scenario = Scenario(dataset="sentiment", model="lenet:fc_width=32")
+        assert scenario.model == "text"
+        assert scenario.model_kwargs == {}
+
+    def test_compound_literal_in_spec_string_is_json_canonical(self):
+        # kwargs are canonicalised to their JSON form (tuples -> lists) so a
+        # scenario equals its own JSON round-trip.
+        scenario = Scenario(model="mlp:hidden=(32,16)")
+        assert scenario.model_kwargs == {"hidden": [32, 16]}
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_text_model_requires_text_dataset(self):
+        with pytest.raises(ValueError, match="requires\\s+a text dataset"):
+            Scenario(dataset="femnist", model="text")
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dataset": "cifar"},
+            {"algorithm": "fedprox"},
+            {"attack": "badnets"},
+            {"defense": "magic"},
+            {"trigger": "sticker"},
+            {"backend": "gpu"},
+            {"model": "resnet"},
+        ],
+    )
+    def test_unknown_components_fail_with_available_list(self, kwargs):
+        with pytest.raises(ValueError, match="available:"):
+            Scenario(**kwargs)
+
+    def test_unknown_component_suggests_close_match(self):
+        with pytest.raises(ValueError, match="did you mean 'collapois'"):
+            Scenario(attack="collapois2", compromised_fraction=0.1)
+
+    def test_sentiment_normalization_is_explicit_and_identical(self):
+        scenario = Scenario(dataset="sentiment", num_classes=10)
+        assert scenario.num_classes == 2
+        assert scenario.model in {"text", "mlp"}
+        assert Scenario(dataset="sentiment", model="lenet").model == "text"
+        # the normalised form round-trips without re-normalisation surprises
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+
+class TestJsonRoundTrip:
+    def test_dict_round_trip_is_lossless(self):
+        scenario = tiny_scenario(
+            defense="krum:num_malicious=1",
+            local=LocalTrainingConfig(epochs=2, batch_size=4),
+            eval_every=1,
+            clip_bound=1.5,
+        )
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
+
+    def test_json_round_trip_is_lossless(self):
+        scenario = tiny_scenario(hidden=(32, 16))
+        restored = Scenario.from_json(scenario.to_json())
+        assert restored == scenario
+        assert restored.hidden == (32, 16)
+
+    def test_save_load(self, tmp_path):
+        scenario = tiny_scenario()
+        path = tmp_path / "scenario.json"
+        scenario.save(path)
+        assert Scenario.load(path) == scenario
+
+    def test_unknown_key_rejected_with_suggestion(self):
+        data = tiny_scenario().to_dict()
+        data["allpha"] = 0.4
+        del data["alpha"]
+        with pytest.raises(ValueError, match=r"allpha \(did you mean 'alpha'\?\)"):
+            Scenario.from_dict(data)
+
+    def test_rerun_of_loaded_scenario_is_bit_identical(self):
+        scenario = tiny_scenario(eval_every=1, defense="norm_bound:max_norm=2.0")
+        first = run_experiment(scenario)
+        restored = Scenario.from_json(scenario.to_json())
+        second = run_experiment(restored)
+        assert first.history.records == second.history.records
+        assert first.history.to_dict() == second.history.to_dict()
+        assert first.evaluation.as_dict() == second.evaluation.as_dict()
+
+    def test_history_serialization_round_trip(self):
+        history = run_experiment(tiny_scenario(eval_every=2)).history
+        restored = TrainingHistory.from_dict(history.to_dict())
+        assert restored.records == history.records
+
+    def test_history_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown round-record key"):
+            TrainingHistory.from_dict({"records": [{"bogus": 1}]})
+
+
+class TestRun:
+    def test_scenario_run_matches_run_experiment(self):
+        scenario = tiny_scenario()
+        assert (
+            scenario.run().history.records
+            == run_experiment(scenario).history.records
+        )

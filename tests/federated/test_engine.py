@@ -243,8 +243,10 @@ class TestHookPipeline:
         server = FederatedServer(
             small_federation, image_model_factory, FedAvg(), config
         )
-        server.eval_fn = lambda params, idx: {"benign_accuracy": 0.1}
-        server.eval_fn = lambda params, idx: {"benign_accuracy": 0.9}
+        with pytest.warns(DeprecationWarning):
+            server.eval_fn = lambda params, idx: {"benign_accuracy": 0.1}
+        with pytest.warns(DeprecationWarning):
+            server.eval_fn = lambda params, idx: {"benign_accuracy": 0.9}
         assert len(server.hooks) == 1
         record = server.run_round()
         assert record.benign_accuracy == 0.9
@@ -270,7 +272,8 @@ class TestHookPipeline:
         server = FederatedServer(
             small_federation, image_model_factory, FedAvg(), config, hooks=[collector]
         )
-        server.eval_fn = lambda params, idx: {"benign_accuracy": 0.7}
+        with pytest.warns(DeprecationWarning):
+            server.eval_fn = lambda params, idx: {"benign_accuracy": 0.7}
         server.run()
         assert seen == [0.7]
 
@@ -280,13 +283,15 @@ class TestHookPipeline:
         # Historical pattern: assign eval_fn first, switch eval_every on later.
         config = ServerConfig(rounds=2, sample_rate=0.5, seed=2)
         server = FederatedServer(small_federation, image_model_factory, FedAvg(), config)
-        server.eval_fn = lambda params, idx: {"benign_accuracy": 0.4}
+        with pytest.warns(DeprecationWarning):
+            server.eval_fn = lambda params, idx: {"benign_accuracy": 0.4}
         first = server.run_round()
         assert first.benign_accuracy is None  # eval_every still unset
         server.config.eval_every = 1
         second = server.run_round()
         assert second.benign_accuracy == 0.4
-        assert server.eval_fn is not None
+        with pytest.warns(DeprecationWarning):
+            assert server.eval_fn is not None
 
     def test_backend_rebind_resets_driver_model(self, small_federation, image_model_factory):
         backend = SerialBackend()
@@ -321,9 +326,10 @@ class TestAggregationContext:
         assert contexts[0].sampled_clients == tuple(server.history.records[0].sampled_clients)
         assert all(isinstance(ctx, AggregationContext) for ctx in contexts)
 
-    def test_legacy_rng_call_still_works(self, rng):
+    def test_legacy_rng_call_still_works_but_warns(self, rng):
         updates = np.arange(12, dtype=np.float64).reshape(3, 4)
-        result = MeanAggregator()(updates, np.zeros(4), rng)
+        with pytest.warns(DeprecationWarning, match="AggregationContext"):
+            result = MeanAggregator()(updates, np.zeros(4), rng)
         np.testing.assert_allclose(result, updates.mean(axis=0))
 
     def test_from_rng_wraps_generator(self, rng):

@@ -92,9 +92,10 @@ class TestFederatedServer:
 
     def test_eval_fn_populates_history(self, small_federation, image_model_factory):
         server = _make_server(small_federation, image_model_factory, rounds=2, eval_every=1)
-        server.eval_fn = lambda params, round_idx: {
-            "benign_accuracy": 0.5, "attack_success_rate": 0.25,
-        }
+        with pytest.warns(DeprecationWarning):
+            server.eval_fn = lambda params, round_idx: {
+                "benign_accuracy": 0.5, "attack_success_rate": 0.25,
+            }
         history = server.run()
         assert history.records[-1].benign_accuracy == 0.5
         assert history.records[-1].attack_success_rate == 0.25
