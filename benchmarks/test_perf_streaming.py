@@ -1,0 +1,150 @@
+"""Performance benches for the streaming update pipeline.
+
+* ``test_streaming_mean_peak_memory`` — peak traced allocations of the
+  streaming accumulate/finalize protocol vs. the buffered matrix path for
+  the mean aggregator at a large ``param_dim``.  The buffered path has to
+  materialise the full ``(clients, param_dim)`` stack; the streaming path
+  holds one running vector plus the update in flight, so its peak should be
+  a small multiple of ``param_dim`` regardless of the client count.  Memory
+  accounting is deterministic, so this assertion also runs on CI.
+* ``test_streaming_round_latency`` — end-to-end round wall clock,
+  ``streaming=on`` vs ``streaming=off``, on the serial and thread backends,
+  with the bit-identical-history guarantee asserted on the side.  Wall-clock
+  assertions stay off-CI (shared runners are too noisy to gate on).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import tracemalloc
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.defenses.base import AggregationContext, MeanAggregator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import format_table
+from repro.experiments.runner import run_experiment
+from repro.federated.client import LocalTrainingConfig
+from repro.federated.engine.plan import ClientUpdate
+
+NUM_CLIENTS = 32
+PARAM_DIM = 100_000  # buffered stack: 32 * 100k * 8 B ≈ 25.6 MB
+
+
+def _iter_synthetic_updates():
+    """Yield one round of synthetic client updates without retaining them."""
+    for slot in range(NUM_CLIENTS):
+        vector = np.random.default_rng(slot).normal(size=PARAM_DIM)
+        yield ClientUpdate(client_id=slot, slot=slot, update=vector)
+
+
+def _traced_peak(fn):
+    tracemalloc.start()
+    try:
+        out = fn()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return out, peak
+
+
+def test_streaming_mean_peak_memory(benchmark):
+    """Streaming aggregation must not materialise the round matrix."""
+    global_params = np.zeros(PARAM_DIM)
+
+    def buffered():
+        ctx = AggregationContext(rng=np.random.default_rng(0))
+        stacked = np.stack([u.update for u in _iter_synthetic_updates()])
+        return MeanAggregator()(stacked, global_params, ctx)
+
+    def streaming():
+        ctx = AggregationContext(rng=np.random.default_rng(0))
+        aggregator = MeanAggregator()
+        state = aggregator.begin_round(ctx)
+        for update in _iter_synthetic_updates():
+            aggregator.accumulate(state, update)
+        return aggregator.finalize(state, global_params, ctx)
+
+    buffered_out, buffered_peak = _traced_peak(buffered)
+    streaming_out, streaming_peak = run_once(
+        benchmark, lambda: _traced_peak(streaming)
+    )
+
+    np.testing.assert_array_equal(streaming_out, buffered_out)
+
+    rows = [
+        {"path": "buffered", "peak_mib": buffered_peak / 2**20},
+        {"path": "streaming", "peak_mib": streaming_peak / 2**20},
+    ]
+    print(
+        f"\nMean aggregation peak memory — {NUM_CLIENTS} clients, "
+        f"param_dim={PARAM_DIM}"
+    )
+    print(format_table(rows, floatfmt=".1f"))
+    benchmark.extra_info["buffered_peak_mib"] = buffered_peak / 2**20
+    benchmark.extra_info["streaming_peak_mib"] = streaming_peak / 2**20
+
+    matrix_bytes = NUM_CLIENTS * PARAM_DIM * 8
+    assert buffered_peak > matrix_bytes, "buffered path should hold the full stack"
+    # Streaming holds the running sum + the update in flight (+ generator
+    # scratch): a handful of param_dim vectors, nowhere near the matrix.
+    assert streaming_peak < buffered_peak / 4, (
+        f"streaming peak {streaming_peak / 2**20:.1f} MiB should be well under "
+        f"the buffered {buffered_peak / 2**20:.1f} MiB"
+    )
+
+
+def test_streaming_round_latency(benchmark):
+    """streaming=on vs off wall clock; histories must stay bit-identical."""
+    config = ExperimentConfig(
+        dataset="femnist",
+        num_clients=16,
+        samples_per_client=32,
+        num_classes=6,
+        image_size=16,
+        alpha=0.3,
+        rounds=4,
+        sample_rate=1.0,
+        attack="none",
+        local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
+        seed=3,
+    )
+
+    def sweep():
+        rows = []
+        histories = {}
+        for backend in ("serial", "thread"):
+            for mode in ("off", "on"):
+                scenario = config.with_overrides(backend=backend, streaming=mode)
+                start = time.perf_counter()
+                result = run_experiment(scenario)
+                elapsed = time.perf_counter() - start
+                histories[(backend, mode)] = result.history
+                rows.append(
+                    {
+                        "backend": backend,
+                        "streaming": mode,
+                        "seconds": round(elapsed, 3),
+                    }
+                )
+        return rows, histories
+
+    rows, histories = run_once(benchmark, sweep)
+    reference = histories[("serial", "off")].series("update_norm")
+    for key, history in histories.items():
+        assert history.series("update_norm") == reference, (
+            f"{key} diverged from the buffered serial reference"
+        )
+
+    print("\nRound latency — streaming vs buffered, 16 clients/round, 4 rounds")
+    print(format_table(rows))
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+
+    if not os.environ.get("CI"):
+        by_key = {(r["backend"], r["streaming"]): r["seconds"] for r in rows}
+        # Streaming folds aggregation into the round instead of adding work;
+        # allow generous slack because each cell is a short run.
+        assert by_key[("serial", "on")] < by_key[("serial", "off")] * 1.5, rows

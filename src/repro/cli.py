@@ -7,10 +7,12 @@ Three subcommands::
     python -m repro sweep suite.json     # run a sweep suite
 
 ``run`` accepts ``--set key=value`` overrides (values parsed as literals,
-component fields accept spec strings like ``--set defense=krum:multi=3``)
-and ``--out results.json`` to write the scenario, summary and full
-per-round history as JSON — re-running that scenario file reproduces the
-history bit-identically.
+component fields accept spec strings like ``--set defense=krum:multi=3``),
+``--streaming auto|on|off`` to pick the update-aggregation path, and
+``--out results.json`` to write the full
+:class:`~repro.experiments.results.ExperimentResult` as JSON — the file
+reloads losslessly via ``ExperimentResult.load()`` and re-running the
+embedded scenario reproduces the history bit-identically.
 """
 
 from __future__ import annotations
@@ -41,6 +43,11 @@ def _add_run_overrides(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--workers", type=int, help="worker cap for parallel backends"
+    )
+    parser.add_argument(
+        "--streaming",
+        choices=("auto", "on", "off"),
+        help="fold client updates into the aggregator online (default auto)",
     )
     parser.add_argument("--out", type=Path, help="write results as JSON")
 
@@ -82,6 +89,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["backend"] = args.backend
     if args.workers is not None:
         overrides["backend_workers"] = args.workers
+    if args.streaming is not None:
+        overrides["streaming"] = args.streaming
     if overrides:
         scenario = scenario.with_overrides(**overrides)
     label = scenario.name or Path(args.scenario).stem
@@ -90,13 +99,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = scenario.run()
     print(format_table([{"scenario": label, **result.summary()}]))
     if args.out is not None:
-        payload = {
-            "scenario": scenario.to_dict(),
-            "summary": result.summary(),
-            "compromised_ids": result.compromised_ids,
-            "history": result.history.to_dict(),
-        }
-        args.out.write_text(json.dumps(payload, indent=2) + "\n")
+        # The full ExperimentResult round-trip: the written file reloads
+        # losslessly via ExperimentResult.load()/from_dict().
+        result.save(args.out)
         print(f"Wrote {args.out}")
     return 0
 
@@ -106,15 +111,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     label = suite.name or Path(args.suite).stem
     print(f"Running suite {label!r}: {len(suite)} cells ...")
     cell_fields = sorted({key for cell in suite.cells for key in cell})
-    rows = suite.rows(
-        *cell_fields,
+    cells = suite.run(
         backend=args.backend,
         backend_workers=args.workers,
         cell_workers=args.cell_workers,
     )
+    rows = Suite.cell_rows(cells, *cell_fields)
     print(format_table(rows))
     if args.out is not None:
-        payload = {"suite": suite.to_dict(), "rows": rows}
+        # ``results`` carries the full per-cell ExperimentResult payloads in
+        # grid order; each reloads losslessly via ExperimentResult.from_dict.
+        payload = {
+            "suite": suite.to_dict(),
+            "rows": rows,
+            "results": [cell.result.to_dict() for cell in cells],
+        }
         args.out.write_text(json.dumps(payload, indent=2) + "\n")
         print(f"Wrote {args.out}")
     return 0

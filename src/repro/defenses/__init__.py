@@ -2,8 +2,11 @@
 
 Each defense implements the :class:`~repro.defenses.base.Aggregator`
 interface: given the stack of client updates collected in a round it returns
-the aggregated update the server applies.  The catalogue mirrors Table I of
-the paper:
+the aggregated update the server applies.  Every defense also supports the
+incremental ``begin_round``/``accumulate``/``finalize`` streaming protocol
+(buffered automatically by the base class); ``mean``, ``norm_bound``, ``dp``
+and ``signsgd`` additionally stream with O(param_dim) round state.  The
+catalogue mirrors Table I of the paper:
 
 =====================  =====================================================
 Defense                Module
@@ -23,7 +26,13 @@ MESAS-style detector   :class:`~repro.defenses.detector.StatisticalDetector`
 =====================  =====================================================
 """
 
-from repro.defenses.base import AggregationContext, Aggregator, MeanAggregator
+from repro.defenses.base import (
+    AggregationContext,
+    AggregationState,
+    Aggregator,
+    MeanAggregator,
+    clip_to_norm,
+)
 from repro.defenses.crfl import CRFL
 from repro.defenses.detector import StatisticalDetector
 from repro.defenses.ditto import DittoPersonalizer
@@ -39,8 +48,10 @@ from repro.defenses.trimmed_mean import TrimmedMean
 
 __all__ = [
     "AggregationContext",
+    "AggregationState",
     "Aggregator",
     "MeanAggregator",
+    "clip_to_norm",
     "Krum",
     "CoordinateMedian",
     "TrimmedMean",

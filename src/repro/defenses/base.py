@@ -1,12 +1,41 @@
-"""Aggregator interface shared by every robust-aggregation defense."""
+"""Aggregator interface shared by every robust-aggregation defense.
+
+Two equivalent protocols are exposed:
+
+* the historical **matrix protocol** — ``aggregate(updates, global_params,
+  ctx)`` over a fully materialised ``(num_sampled_clients, param_dim)``
+  array; every defense implements this;
+* the **streaming protocol** — ``begin_round(ctx) → state``,
+  ``accumulate(state, update)`` per arriving
+  :class:`~repro.federated.engine.plan.ClientUpdate`, and
+  ``finalize(state, global_params, ctx) → aggregated`` once the round is
+  complete.  The base class provides an automatic buffering fallback (updates
+  are collected and handed to :meth:`Aggregator.aggregate` at finalize), so
+  every registered defense supports the streaming call shape unchanged;
+  defenses whose math is a per-update fold (mean, norm bounding, DP,
+  SignSGD) opt into true O(param_dim) state by overriding the ``_begin`` /
+  ``_fold`` / ``_finalize`` extension points and setting ``streaming = True``.
+
+Determinism: floating-point accumulation is order-sensitive, so
+:meth:`Aggregator.accumulate` never folds an update the moment it arrives.
+It parks arrivals in ``state.pending`` and folds them *in sampled-slot
+order* (slot 0, then 1, …), releasing each as its predecessor is folded.
+Sequential slot-order folding is bit-identical to NumPy's ``axis=0``
+reduction over the stacked matrix, so the streaming and matrix protocols
+produce the same result to the last ulp regardless of completion order.
+"""
 
 from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 from repro.registry import DEFENSES
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.federated.engine.plan import ClientUpdate
 
 
 @dataclass
@@ -32,6 +61,24 @@ class AggregationContext:
         return cls(rng=rng)
 
 
+@dataclass
+class AggregationState:
+    """Mutable per-round state of one streaming aggregation.
+
+    ``data`` is the defense-specific accumulator (a list of updates for the
+    buffering fallback, an O(param_dim) running vector for streaming
+    defenses).  ``pending`` parks updates that arrived ahead of their
+    sampled-slot predecessors; ``cursor`` is the next slot to fold and
+    ``count`` the number of updates accumulated so far (folded + pending).
+    """
+
+    ctx: AggregationContext
+    data: Any = None
+    pending: dict = field(default_factory=dict)
+    cursor: int = 0
+    count: int = 0
+
+
 class Aggregator:
     """Turns the round's client updates into a single aggregated update.
 
@@ -41,12 +88,44 @@ class Aggregator:
     :class:`AggregationContext` are available for defenses that need them
     (e.g. CRFL smoothing noise, DP noise, FLARE latent-space probes).
 
+    The streaming protocol (:meth:`begin_round` / :meth:`accumulate` /
+    :meth:`finalize`) works for every defense: the default implementation
+    buffers updates and delegates to :meth:`aggregate` at finalize time.
+    Streaming defenses override the ``_begin`` / ``_fold`` / ``_finalize``
+    extension points instead of the protocol methods themselves, so the
+    deterministic slot-order fold rule lives in exactly one place.
+
     Back-compat: calling an aggregator with a bare ``np.random.Generator`` in
     place of the context still works — the generator is wrapped into a
     minimal :class:`AggregationContext` automatically.
     """
 
     name = "aggregator"
+
+    #: True when this defense folds updates in O(param_dim) state instead of
+    #: buffering the full round.  ``streaming="auto"`` on the server streams
+    #: exactly when this is set.
+    streaming = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # A subclass that replaces the matrix math without touching the
+        # streaming machinery (e.g. a test double overriding ``aggregate`` on
+        # top of MeanAggregator) would otherwise inherit a streaming fold
+        # that no longer matches its own aggregate() — drop it back to the
+        # buffering fallback, which delegates to the subclass's aggregate().
+        overrides_matrix = "aggregate" in cls.__dict__
+        touches_streaming = {
+            "streaming", "_begin", "_fold", "_finalize",
+            "begin_round", "accumulate", "finalize",
+        } & cls.__dict__.keys()
+        if overrides_matrix and not touches_streaming:
+            cls.streaming = False
+            cls._begin = Aggregator._begin
+            cls._fold = Aggregator._fold
+            cls._finalize = Aggregator._finalize
+
+    # -- matrix protocol ---------------------------------------------------
 
     def aggregate(
         self,
@@ -76,12 +155,88 @@ class Aggregator:
             ctx = AggregationContext.from_rng(ctx)
         return self.aggregate(updates, global_params, ctx)
 
+    # -- streaming protocol ------------------------------------------------
+
+    def begin_round(self, ctx: AggregationContext) -> AggregationState:
+        """Open a round; the returned state is threaded through accumulate."""
+        return AggregationState(ctx=ctx, data=self._begin(ctx))
+
+    def accumulate(self, state: AggregationState, update: "ClientUpdate") -> None:
+        """Fold one client update into the round state.
+
+        Updates may arrive in any completion order; they are folded in
+        canonical sampled-slot order (0, 1, 2, …) so the result is
+        bit-identical to the matrix protocol regardless of arrival order.
+        An update whose predecessors have not arrived yet is parked in
+        ``state.pending`` and folded as soon as the gap closes.
+        """
+        slot = update.slot
+        if slot < state.cursor or slot in state.pending:
+            raise ValueError(f"duplicate update for sampled slot {slot}")
+        state.pending[slot] = update
+        state.count += 1
+        while state.cursor in state.pending:
+            self._fold(state, state.pending.pop(state.cursor))
+            state.cursor += 1
+
+    def finalize(
+        self,
+        state: AggregationState,
+        global_params: np.ndarray,
+        ctx: AggregationContext | None = None,
+    ) -> np.ndarray:
+        """Close the round and return the aggregated update.
+
+        Slots must cover ``0..n-1``: leading/interior gaps are detected from
+        the parked arrivals, and when the context names the round's sampled
+        clients (the server always does) the update count is checked against
+        it, so a round that silently lost its highest slots fails loudly too.
+        """
+        ctx = ctx if ctx is not None else state.ctx
+        if state.count == 0:
+            raise ValueError("cannot aggregate an empty round")
+        if state.pending:
+            folded = set(range(state.cursor))
+            missing = sorted(set(range(max(state.pending))) - state.pending.keys() - folded)
+            raise ValueError(
+                f"cannot finalize with unfolded updates: sampled slots "
+                f"{missing} never arrived (slots must cover 0..n-1)"
+            )
+        expected = len(ctx.sampled_clients)
+        if expected and state.count != expected:
+            raise ValueError(
+                f"round sampled {expected} clients (ctx.sampled_clients) but "
+                f"only {state.count} updates were accumulated"
+            )
+        return self._finalize(state, global_params, ctx)
+
+    # -- streaming extension points (override these, not the protocol) -----
+
+    def _begin(self, ctx: AggregationContext):
+        """Fresh defense-specific accumulator (fallback: a buffer list)."""
+        return []
+
+    def _fold(self, state: AggregationState, update: "ClientUpdate") -> None:
+        """Fold one update, called in slot order (fallback: buffer it)."""
+        state.data.append(update)
+
+    def _finalize(
+        self,
+        state: AggregationState,
+        global_params: np.ndarray,
+        ctx: AggregationContext,
+    ) -> np.ndarray:
+        """Produce the aggregated update (fallback: stack + delegate)."""
+        stacked = np.stack([u.update for u in state.data])
+        return self.aggregate(stacked, global_params, ctx)
+
 
 @DEFENSES.register("mean")
 class MeanAggregator(Aggregator):
     """Plain FedAvg mean of client updates (no defense)."""
 
     name = "mean"
+    streaming = True
 
     def aggregate(
         self,
@@ -90,3 +245,42 @@ class MeanAggregator(Aggregator):
         ctx: AggregationContext,
     ) -> np.ndarray:
         return updates.mean(axis=0)
+
+    def _begin(self, ctx):
+        return None  # running sum, allocated on first fold
+
+    def _fold(self, state, update):
+        if state.data is None:
+            state.data = np.array(update.update, dtype=np.float64)
+        else:
+            state.data += update.update
+
+    def _finalize(self, state, global_params, ctx):
+        return state.data / state.count
+
+
+def clip_to_norm(update: np.ndarray, max_norm: float) -> np.ndarray:
+    """Scale ``update`` to at most ``max_norm`` (l2), matrix-path-identical.
+
+    Shared by the streaming norm-bounding and DP folds.  The norm is computed
+    through the same ``axis=1`` reduction the matrix implementations use on
+    the stacked array — ``np.linalg.norm(v)`` on a 1-D vector takes a BLAS
+    path with different rounding, which would break the bit-identity
+    guarantee between the streaming and buffered protocols.
+    """
+    norm = np.linalg.norm(update[None, :], axis=1)
+    scale = np.minimum(1.0, max_norm / np.clip(norm, 1e-12, None))
+    return update * scale
+
+
+def fold_clipped_sum(state: AggregationState, update: "ClientUpdate", max_norm: float) -> None:
+    """Fold one update, clipped to ``max_norm``, into a running-sum state.
+
+    The shared ``_fold`` body of the clip-then-average streaming defenses
+    (norm bounding, DP); their finalize steps differ only in the noise term.
+    """
+    clipped = clip_to_norm(update.update, max_norm)
+    if state.data is None:
+        state.data = clipped.astype(np.float64)
+    else:
+        state.data += clipped

@@ -11,15 +11,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.defenses.base import Aggregator
+from repro.defenses.base import Aggregator, fold_clipped_sum
 from repro.registry import DEFENSES
 
 
 @DEFENSES.register("dp")
 class DPAggregator(Aggregator):
-    """Clip-and-noise aggregation (DP-optimizer style)."""
+    """Clip-and-noise aggregation (DP-optimizer style).
+
+    Streams like :class:`~repro.defenses.norm_bound.NormBound`: per-update
+    clipping folds into one running vector, and the count-calibrated noise
+    is drawn once at finalize.
+    """
 
     name = "dp"
+    streaming = True
 
     def __init__(self, clip_norm: float = 1.0, noise_multiplier: float = 0.1) -> None:
         if clip_norm <= 0:
@@ -37,5 +43,18 @@ class DPAggregator(Aggregator):
         aggregated = clipped.mean(axis=0)
         if self.noise_multiplier > 0:
             sigma = self.noise_multiplier * self.clip_norm / n
+            aggregated = aggregated + ctx.rng.normal(0.0, sigma, size=aggregated.shape)
+        return aggregated
+
+    def _begin(self, ctx):
+        return None  # running sum of clipped updates
+
+    def _fold(self, state, update):
+        fold_clipped_sum(state, update, self.clip_norm)
+
+    def _finalize(self, state, global_params, ctx):
+        aggregated = state.data / state.count
+        if self.noise_multiplier > 0:
+            sigma = self.noise_multiplier * self.clip_norm / state.count
             aggregated = aggregated + ctx.rng.normal(0.0, sigma, size=aggregated.shape)
         return aggregated

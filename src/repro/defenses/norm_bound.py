@@ -11,15 +11,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.defenses.base import Aggregator
+from repro.defenses.base import Aggregator, fold_clipped_sum
 from repro.registry import DEFENSES
 
 
 @DEFENSES.register("norm_bound")
 class NormBound(Aggregator):
-    """Clip each update to ``max_norm``, then average (plus optional noise)."""
+    """Clip each update to ``max_norm``, then average (plus optional noise).
+
+    Clipping is per-update and the average is a slot-ordered sum, so the
+    defense streams: the round state is one running ``param_dim`` vector and
+    noise is drawn once at finalize, exactly as in the matrix path.
+    """
 
     name = "norm_bound"
+    streaming = True
 
     def __init__(self, max_norm: float = 1.0, noise_std: float = 0.0) -> None:
         if max_norm <= 0:
@@ -34,6 +40,18 @@ class NormBound(Aggregator):
         scale = np.minimum(1.0, self.max_norm / np.clip(norms, 1e-12, None))
         clipped = updates * scale
         aggregated = clipped.mean(axis=0)
+        if self.noise_std > 0:
+            aggregated = aggregated + ctx.rng.normal(0.0, self.noise_std, size=aggregated.shape)
+        return aggregated
+
+    def _begin(self, ctx):
+        return None  # running sum of clipped updates
+
+    def _fold(self, state, update):
+        fold_clipped_sum(state, update, self.max_norm)
+
+    def _finalize(self, state, global_params, ctx):
+        aggregated = state.data / state.count
         if self.noise_std > 0:
             aggregated = aggregated + ctx.rng.normal(0.0, self.noise_std, size=aggregated.shape)
         return aggregated

@@ -15,9 +15,15 @@ from repro.registry import DEFENSES
 
 @DEFENSES.register("signsgd")
 class SignSGDAggregator(Aggregator):
-    """Majority-vote sign aggregation with a fixed step size."""
+    """Majority-vote sign aggregation with a fixed step size.
+
+    The vote is a coordinate-wise sum of per-update signs, so the round
+    state streams as a single running tally vector (sign sums are exact
+    small integers in float64, so fold order cannot even change rounding).
+    """
 
     name = "signsgd"
+    streaming = True
 
     def __init__(self, step_size: float = 0.01) -> None:
         if step_size <= 0:
@@ -27,3 +33,15 @@ class SignSGDAggregator(Aggregator):
     def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         vote = np.sign(np.sign(updates).sum(axis=0))
         return self.step_size * vote
+
+    def _begin(self, ctx):
+        return None  # running sign tally
+
+    def _fold(self, state, update):
+        if state.data is None:
+            state.data = np.sign(update.update)
+        else:
+            state.data += np.sign(update.update)
+
+    def _finalize(self, state, global_params, ctx):
+        return self.step_size * np.sign(state.data)

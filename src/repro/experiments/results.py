@@ -2,15 +2,25 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.federated.history import TrainingHistory
 from repro.metrics.accuracy import ClientEvaluation
+from repro.registry import reject_unknown_keys
 
 
 @dataclass
 class ExperimentResult:
-    """Output of :func:`repro.experiments.runner.run_experiment`."""
+    """Output of :func:`repro.experiments.runner.run_experiment`.
+
+    Serialises losslessly through :meth:`to_dict`/:meth:`from_dict` (matching
+    :class:`~repro.experiments.scenario.Scenario` and
+    :class:`~repro.federated.history.TrainingHistory`), except for
+    ``extras`` — live objects (dataset, server, attack) that exist only in
+    the producing process and reload as an empty dict.
+    """
 
     config: object
     evaluation: ClientEvaluation
@@ -34,16 +44,69 @@ class ExperimentResult:
             "num_compromised": float(len(self.compromised_ids)),
         }
 
+    # -- serialisation -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-compatible plain-data form (``extras`` are not serialised)."""
+        return {
+            "scenario": self.config.to_dict(),
+            "summary": self.summary(),
+            "evaluation": self.evaluation.to_dict(),
+            "compromised_ids": [int(c) for c in self.compromised_ids],
+            "history": self.history.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        ``summary`` is derived state and therefore ignored on load (it is
+        recomputed from the evaluation/history); unknown keys fail loudly.
+        """
+        from repro.experiments.scenario import Scenario
+
+        reject_unknown_keys(
+            data,
+            {"scenario", "summary", "evaluation", "compromised_ids", "history"},
+            "experiment-result",
+        )
+        if "scenario" not in data:
+            raise ValueError("experiment-result data needs a 'scenario' section")
+        return cls(
+            config=Scenario.from_dict(data["scenario"]),
+            evaluation=ClientEvaluation.from_dict(data.get("evaluation", {})),
+            history=TrainingHistory.from_dict(data.get("history", {})),
+            compromised_ids=[int(c) for c in data.get("compromised_ids", [])],
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentResult":
+        return cls.from_json(Path(path).read_text())
+
 
 def format_table(rows: list[dict], columns: list[str] | None = None, floatfmt: str = ".3f") -> str:
     """Render a list of dict rows as an aligned plain-text table.
 
     Used by the benchmark harness to print the regenerated figure series in a
-    form directly comparable with the paper's plots.
+    form directly comparable with the paper's plots.  An explicit ``columns``
+    list may name keys absent from every row — such columns render as empty
+    cells sized to the header (an empty ``columns`` list is also allowed and
+    produces an empty table skeleton).
     """
     if not rows:
         return "(empty table)"
-    columns = columns or list(rows[0].keys())
+    if columns is None:
+        columns = list(rows[0].keys())
 
     def fmt(value) -> str:
         if isinstance(value, float):
@@ -51,8 +114,11 @@ def format_table(rows: list[dict], columns: list[str] | None = None, floatfmt: s
         return str(value)
 
     rendered = [[fmt(row.get(col, "")) for col in columns] for row in rows]
+    # The header always participates in the width so a column missing from
+    # every row (or present only with short values) stays aligned.
     widths = [
-        max(len(col), *(len(line[i]) for line in rendered)) for i, col in enumerate(columns)
+        max([len(col)] + [len(line[i]) for line in rendered])
+        for i, col in enumerate(columns)
     ]
     header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
     separator = "-+-".join("-" * widths[i] for i in range(len(columns)))

@@ -215,6 +215,7 @@ def run_experiment(
         seed=config.seed,
         local=config.local,
         eval_every=config.eval_every,
+        streaming=config.streaming,
     )
 
     eval_fn = None

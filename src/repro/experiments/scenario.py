@@ -94,6 +94,7 @@ class Scenario:
     eval_every: int | None = None
     backend: str = "serial"
     backend_workers: int | None = None  # worker cap for parallel backends
+    streaming: str = "auto"             # fold updates online: auto|on|off
 
     # Attack
     attack: str = "none"
@@ -200,6 +201,8 @@ class Scenario:
             raise ValueError(
                 "backend_workers requires a parallel backend ('thread' or 'process')"
             )
+        if self.streaming not in ("auto", "on", "off"):
+            raise ValueError("streaming must be 'auto', 'on' or 'off'")
 
     # -- functional updates ------------------------------------------------
 

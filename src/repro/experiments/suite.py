@@ -163,25 +163,37 @@ class Suite:
             futures = [pool.submit(run_cell, s, o) for s, o in jobs]
             return [f.result() for f in futures]
 
-    def rows(
-        self,
+    @staticmethod
+    def cell_rows(
+        cells: Sequence[CellResult],
         *cell_fields: str,
         metrics: Sequence[str] = ("benign_accuracy", "attack_success_rate"),
-        **run_kwargs,
     ) -> list[dict]:
-        """Run the suite and flatten it into table rows.
+        """Flatten already-run cells into table rows.
 
         Each row carries the requested scenario fields followed by the
         requested result metrics — the shape the figure sweeps and
-        :func:`repro.experiments.results.format_table` consume.
+        :func:`repro.experiments.results.format_table` consume.  Callers
+        that need the :class:`CellResult` objects as well (e.g. the CLI,
+        which also serialises the full per-cell results) run the suite once
+        and build rows from the cells.
         """
         return [
             {
                 **{name: getattr(cr.scenario, name) for name in cell_fields},
                 **{name: getattr(cr.result, name) for name in metrics},
             }
-            for cr in self.run(**run_kwargs)
+            for cr in cells
         ]
+
+    def rows(
+        self,
+        *cell_fields: str,
+        metrics: Sequence[str] = ("benign_accuracy", "attack_success_rate"),
+        **run_kwargs,
+    ) -> list[dict]:
+        """Run the suite and flatten it into table rows (see :meth:`cell_rows`)."""
+        return self.cell_rows(self.run(**run_kwargs), *cell_fields, metrics=metrics)
 
     # -- serialisation -----------------------------------------------------
 

@@ -24,6 +24,7 @@ from repro.federated.engine import (
     CallbackHook,
     ClientResult,
     ClientTask,
+    ClientUpdate,
     EvaluationHook,
     ExecutionBackend,
     HookPipeline,
@@ -65,6 +66,7 @@ __all__ = [
     "CallbackHook",
     "ClientTask",
     "ClientResult",
+    "ClientUpdate",
     "RoundPlan",
     "build_round_plan",
     "client_rng",

@@ -28,6 +28,7 @@ from repro.federated.engine.hooks import (
 from repro.federated.engine.plan import (
     ClientResult,
     ClientTask,
+    ClientUpdate,
     RoundPlan,
     build_round_plan,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "CallbackHook",
     "ClientTask",
     "ClientResult",
+    "ClientUpdate",
     "RoundPlan",
     "build_round_plan",
 ]

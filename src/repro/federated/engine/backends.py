@@ -35,8 +35,8 @@ import multiprocessing
 import os
 import queue
 import threading
-from collections.abc import Callable, Iterable
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from collections.abc import Callable, Iterable, Iterator
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,7 +44,7 @@ import numpy as np
 from repro.data.federated_data import FederatedDataset
 from repro.federated.algorithms.base import FederatedAlgorithm
 from repro.federated.client import LocalTrainingConfig
-from repro.federated.engine.plan import ClientResult, ClientTask, RoundPlan
+from repro.federated.engine.plan import ClientResult, ClientTask, ClientUpdate, RoundPlan
 from repro.registry import BACKENDS
 
 
@@ -132,6 +132,31 @@ class ExecutionBackend:
             results[result.task.order] = result
         return [results[order] for order in range(len(plan))]
 
+    def iter_updates(
+        self, plan: RoundPlan, global_params: np.ndarray
+    ) -> Iterator[ClientUpdate]:
+        """Yield the plan's :class:`ClientUpdate` objects as they complete.
+
+        The streaming counterpart of :meth:`execute`: the server folds each
+        yielded update into the aggregator online instead of waiting for the
+        full round.  Updates may arrive in *any* order — consumers key on
+        ``update.slot`` for the canonical aggregation order (the
+        :class:`~repro.defenses.base.Aggregator` base class does this
+        automatically).  The base implementation is a barrier (it runs
+        :meth:`execute` and yields the finished results, which is what the
+        per-round-forked process backend wants); serial and thread backends
+        override it to yield as clients finish.
+        """
+        for result in self.execute(plan, global_params):
+            yield self.make_update(result)
+
+    def make_update(self, result: ClientResult) -> ClientUpdate:
+        """Wrap an executed result with its client's dataset weight."""
+        return ClientUpdate.from_result(
+            result,
+            num_examples=len(self.ctx.dataset.client(result.client_id).train),
+        )
+
     def _start_benign(
         self, tasks: tuple[ClientTask, ...], global_params: np.ndarray
     ) -> Iterable[ClientResult]:
@@ -160,6 +185,17 @@ class SerialBackend(ExecutionBackend):
         # iterator, after the (shared-scratch-model) malicious tasks finished.
         return (run_benign_task(ctx, task, global_params, model) for task in tasks)
 
+    def iter_updates(self, plan, global_params):
+        # Same computation order as execute() — malicious first on the shared
+        # scratch model, then benign in task order — but each update is
+        # yielded the moment it exists instead of after the round barrier.
+        ctx = self.ctx
+        model = self._get_driver_model()
+        for task in plan.malicious_tasks:
+            yield self.make_update(run_malicious_task(ctx, task, global_params, model))
+        for task in plan.benign_tasks:
+            yield self.make_update(run_benign_task(ctx, task, global_params, model))
+
 
 @BACKENDS.register("thread")
 class ThreadPoolBackend(ExecutionBackend):
@@ -187,22 +223,44 @@ class ThreadPoolBackend(ExecutionBackend):
             # pool is bounded by ``max_workers``.
             return self.ctx.model_factory()
 
-    def _start_benign(self, tasks, global_params):
+    def _run_pooled(self, task: ClientTask, global_params: np.ndarray) -> ClientResult:
+        model = self._borrow_model()
+        try:
+            return run_benign_task(self.ctx, task, global_params, model)
+        finally:
+            self._models.put(model)
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
         if self._executor is None:
             self._executor = ThreadPoolExecutor(
                 max_workers=self.max_workers, thread_name_prefix="fed-client"
             )
+        return self._executor
 
-        def run(task: ClientTask) -> ClientResult:
-            model = self._borrow_model()
-            try:
-                return run_benign_task(self.ctx, task, global_params, model)
-            finally:
-                self._models.put(model)
-
+    def _start_benign(self, tasks, global_params):
         # map() submits every task immediately; the returned iterator is
         # drained by execute() after the driver-side malicious work.
-        return self._executor.map(run, tasks)
+        return self._ensure_executor().map(
+            lambda task: self._run_pooled(task, global_params), tasks
+        )
+
+    def iter_updates(self, plan, global_params):
+        # Submit the benign fan-out first, overlap driver-side malicious
+        # computation with the pool, then yield benign updates in completion
+        # order via as_completed — this is what lets streaming aggregation
+        # start folding while slow clients are still training.
+        executor = self._ensure_executor()
+        futures = [
+            executor.submit(self._run_pooled, task, global_params)
+            for task in plan.benign_tasks
+        ]
+        ctx = self.ctx
+        for task in plan.malicious_tasks:
+            yield self.make_update(
+                run_malicious_task(ctx, task, global_params, self._get_driver_model())
+            )
+        for future in as_completed(futures):
+            yield self.make_update(future.result())
 
     def close(self) -> None:
         if self._executor is not None:

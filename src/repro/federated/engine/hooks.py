@@ -1,12 +1,25 @@
 """Typed round-pipeline hooks.
 
 Instead of hard-wiring evaluation (or any other instrumentation) into the
-server's round loop, the server dispatches four typed events per round:
+server's round loop, the server dispatches five typed events per round:
 
 ``on_round_start``
     after sampling, before any client work — receives the :class:`RoundPlan`.
+``on_update``
+    once per client as its :class:`~repro.federated.engine.plan.ClientUpdate`
+    becomes available, between ``on_round_start`` and
+    ``on_updates_collected``.  On the server's streaming path updates arrive
+    in *completion* order (out-of-order under parallel backends); on the
+    buffered path they are replayed in sampled-slot order after the round
+    barrier.  The event only fires when some registered hook implements it.
 ``on_updates_collected``
-    after the backend returned all client results, before aggregation.
+    after every client update for the round is available, before aggregation
+    is finalized.  On the buffered path ``results`` is the
+    :class:`ClientResult` list in aggregation order (as before); on the
+    streaming path it is the retained :class:`ClientUpdate` list in
+    sampled-slot order — and it is only materialised if some hook (or the
+    training algorithm) actually consumes it, so pure streaming rounds keep
+    O(param_dim) memory.
 ``on_aggregated``
     after the aggregated update was applied to the global model.
 ``on_round_end``
@@ -24,7 +37,7 @@ from collections.abc import Callable, Iterable, Iterator
 
 import numpy as np
 
-from repro.federated.engine.plan import ClientResult, RoundPlan
+from repro.federated.engine.plan import ClientResult, ClientUpdate, RoundPlan
 from repro.federated.history import RoundRecord
 
 
@@ -34,16 +47,37 @@ class RoundHook:
     def on_round_start(self, server, plan: RoundPlan) -> None:
         """Called after sampling, before client execution."""
 
+    def on_update(self, server, plan: RoundPlan, update: ClientUpdate) -> None:
+        """Called once per client update as it becomes available."""
+
     def on_updates_collected(
-        self, server, plan: RoundPlan, results: list[ClientResult]
+        self, server, plan: RoundPlan, results: list[ClientResult] | list[ClientUpdate]
     ) -> None:
-        """Called once every client result for the round is available."""
+        """Called once every client result for the round is available.
+
+        The element type follows the server's active path: ``ClientResult``
+        on the buffered path, ``ClientUpdate`` on the streaming path (the
+        default with a streaming-capable defense).  Both expose
+        ``client_id``/``malicious``/``update``/``loss``; hooks needing more
+        should key off those shared fields or pin ``streaming="off"``.
+        """
 
     def on_aggregated(self, server, plan: RoundPlan, aggregated: np.ndarray) -> None:
         """Called after the aggregated update was applied to the global model."""
 
     def on_round_end(self, server, plan: RoundPlan, record: RoundRecord) -> None:
         """Called with the round's record; hooks may enrich it in place."""
+
+    # The server asks before materialising per-update events / the full
+    # results list so that pure streaming rounds don't pay for observers
+    # nobody registered.  Subclasses are detected automatically; only
+    # adapter-style hooks (CallbackHook) need to override these.
+
+    def wants_update_events(self) -> bool:
+        return type(self).on_update is not RoundHook.on_update
+
+    def wants_collected_results(self) -> bool:
+        return type(self).on_updates_collected is not RoundHook.on_updates_collected
 
 
 class HookPipeline:
@@ -69,11 +103,23 @@ class HookPipeline:
     def __len__(self) -> int:
         return len(self._hooks)
 
+    def wants_update_events(self) -> bool:
+        return any(hook.wants_update_events() for hook in self._hooks)
+
+    def wants_collected_results(self) -> bool:
+        return any(hook.wants_collected_results() for hook in self._hooks)
+
     def round_start(self, server, plan: RoundPlan) -> None:
         for hook in self._hooks:
             hook.on_round_start(server, plan)
 
-    def updates_collected(self, server, plan: RoundPlan, results: list[ClientResult]) -> None:
+    def update(self, server, plan: RoundPlan, update: ClientUpdate) -> None:
+        for hook in self._hooks:
+            hook.on_update(server, plan, update)
+
+    def updates_collected(
+        self, server, plan: RoundPlan, results: list[ClientResult] | list[ClientUpdate]
+    ) -> None:
         for hook in self._hooks:
             hook.on_updates_collected(server, plan, results)
 
@@ -127,18 +173,30 @@ class CallbackHook(RoundHook):
     def __init__(
         self,
         on_round_start: Callable | None = None,
+        on_update: Callable | None = None,
         on_updates_collected: Callable | None = None,
         on_aggregated: Callable | None = None,
         on_round_end: Callable | None = None,
     ) -> None:
         self._round_start = on_round_start
+        self._update = on_update
         self._updates_collected = on_updates_collected
         self._aggregated = on_aggregated
         self._round_end = on_round_end
 
+    def wants_update_events(self) -> bool:
+        return self._update is not None
+
+    def wants_collected_results(self) -> bool:
+        return self._updates_collected is not None
+
     def on_round_start(self, server, plan):
         if self._round_start is not None:
             self._round_start(server, plan)
+
+    def on_update(self, server, plan, update):
+        if self._update is not None:
+            self._update(server, plan, update)
 
     def on_updates_collected(self, server, plan, results):
         if self._updates_collected is not None:

@@ -85,6 +85,47 @@ class ClientResult:
         return self.task.malicious
 
 
+@dataclass
+class ClientUpdate:
+    """One client's contribution to a round, as the aggregation layer sees it.
+
+    This is the unit flowing between the engine and the server's streaming
+    aggregation path (:meth:`ExecutionBackend.iter_updates` yields these as
+    clients finish).  ``slot`` is the client's sampled-slot index — its
+    position in the round's canonical aggregation order — which is what lets
+    an :class:`~repro.defenses.base.Aggregator` fold out-of-order arrivals
+    deterministically.  ``num_examples`` is the size of the client's local
+    training set (``0`` when unknown); ``metadata`` carries per-client extras
+    for hooks and weighted/defensive aggregators.
+    """
+
+    client_id: int
+    slot: int
+    update: np.ndarray
+    num_examples: int = 0
+    loss: float | None = None
+    malicious: bool = False
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def weight(self) -> float:
+        """Aggregation weight (the example count; ``0.0`` means unweighted)."""
+        return float(self.num_examples)
+
+    @classmethod
+    def from_result(cls, result: ClientResult, num_examples: int = 0) -> "ClientUpdate":
+        """Wrap an executed :class:`ClientResult` (shares the update array)."""
+        return cls(
+            client_id=result.client_id,
+            slot=result.task.order,
+            update=result.update,
+            num_examples=num_examples,
+            loss=result.loss,
+            malicious=result.malicious,
+            metadata=dict(result.extras),
+        )
+
+
 def build_round_plan(
     round_idx: int,
     sampled_clients: Iterable[int],

@@ -34,7 +34,16 @@ from repro.nn.serialization import flatten_params
 
 @dataclass
 class ServerConfig:
-    """Hyper-parameters of the federated training run."""
+    """Hyper-parameters of the federated training run.
+
+    ``streaming`` picks how client updates reach the aggregator:
+    ``"off"`` buffers the whole round and aggregates the stacked matrix
+    (the historical path), ``"on"`` folds each update into the aggregator as
+    it arrives (:meth:`~repro.defenses.base.Aggregator.accumulate`), and
+    ``"auto"`` (default) streams exactly when the configured aggregator has
+    a true streaming implementation (``aggregator.streaming``) and buffers
+    otherwise.  Both paths are bit-identical for the same seed.
+    """
 
     rounds: int = 20
     sample_rate: float = 0.2
@@ -43,6 +52,7 @@ class ServerConfig:
     min_sampled_clients: int = 4
     local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
     eval_every: int | None = None
+    streaming: str = "auto"
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -51,6 +61,8 @@ class ServerConfig:
             raise ValueError("sample_rate must be in (0, 1]")
         if self.server_lr <= 0:
             raise ValueError("server_lr must be positive")
+        if self.streaming not in ("auto", "on", "off"):
+            raise ValueError("streaming must be 'auto', 'on' or 'off'")
 
 
 class FederatedServer:
@@ -164,6 +176,72 @@ class FederatedServer:
             self.run_round()
         return self.history
 
+    def _streaming_round(self) -> bool:
+        """Whether this round folds updates into the aggregator online."""
+        mode = self.config.streaming
+        if mode == "off":
+            return False
+        if mode == "on":
+            return True
+        return bool(getattr(self.aggregator, "streaming", False))
+
+    def _algorithm_consumes_updates(self) -> bool:
+        """Whether the algorithm's post_aggregate reads the benign updates."""
+        return (
+            type(self.algorithm).post_aggregate
+            is not FederatedAlgorithm.post_aggregate
+        )
+
+    def _collect_buffered(self, plan, ctx):
+        """Historical matrix path: round barrier, stack, one aggregate call."""
+        results = self.backend.execute(plan, self.global_params)
+        if self.hooks.wants_update_events():
+            # Replay per-update events in aggregation order after the barrier
+            # so on_update observers behave identically across paths.
+            for result in results:
+                self.hooks.update(self, plan, self.backend.make_update(result))
+        self.hooks.updates_collected(self, plan, results)
+
+        benign_losses = [r.loss for r in results if not r.malicious]
+        benign_updates_by_client = {
+            r.client_id: r.update for r in results if not r.malicious
+        }
+        stacked = np.stack([r.update for r in results])
+        aggregated = self.aggregator(stacked, self.global_params, ctx)
+        return aggregated, benign_losses, benign_updates_by_client
+
+    def _collect_streaming(self, plan, ctx):
+        """Streaming path: fold updates into the aggregator as they arrive.
+
+        The aggregator reorders arrivals onto the canonical sampled-slot
+        order internally (see :meth:`~repro.defenses.base.Aggregator.
+        accumulate`), so the result is bit-identical to the buffered path no
+        matter which clients finish first.  The full update list is only
+        retained when a hook or the training algorithm consumes it;
+        otherwise a streaming defense keeps the round at O(param_dim).
+        """
+        state = self.aggregator.begin_round(ctx)
+        retain = self.hooks.wants_collected_results() or self._algorithm_consumes_updates()
+        retained: list = []
+        benign_losses_by_slot: dict[int, float] = {}
+        for update in self.backend.iter_updates(plan, self.global_params):
+            self.hooks.update(self, plan, update)
+            self.aggregator.accumulate(state, update)
+            if not update.malicious:
+                benign_losses_by_slot[update.slot] = update.loss
+            if retain:
+                retained.append(update)
+        retained.sort(key=lambda u: u.slot)
+        self.hooks.updates_collected(self, plan, retained)
+        aggregated = self.aggregator.finalize(state, self.global_params, ctx)
+
+        # Slot order, matching the buffered path's reductions bit-for-bit.
+        benign_losses = [benign_losses_by_slot[s] for s in sorted(benign_losses_by_slot)]
+        benign_updates_by_client = {
+            u.client_id: u.update for u in retained if not u.malicious
+        }
+        return aggregated, benign_losses, benign_updates_by_client
+
     def run_round(self) -> RoundRecord:
         """Execute a single federated round and return its record."""
         round_idx = len(self.history)
@@ -182,21 +260,14 @@ class FederatedServer:
         )
         self.hooks.round_start(self, plan)
 
-        results = self.backend.execute(plan, self.global_params)
-        self.hooks.updates_collected(self, plan, results)
-
-        benign_losses = [r.loss for r in results if not r.malicious]
-        benign_updates_by_client = {
-            r.client_id: r.update for r in results if not r.malicious
-        }
-
-        stacked = np.stack([r.update for r in results])
         ctx = AggregationContext(
             rng=self._rng,
             round_idx=round_idx,
             sampled_clients=plan.sampled_clients,
         )
-        aggregated = self.aggregator(stacked, self.global_params, ctx)
+        collect = self._collect_streaming if self._streaming_round() else self._collect_buffered
+        aggregated, benign_losses, benign_updates_by_client = collect(plan, ctx)
+
         self.global_params = self.global_params + self.config.server_lr * aggregated
         self.algorithm.post_aggregate(self.global_params, benign_updates_by_client)
         self.hooks.aggregated(self, plan, aggregated)

@@ -15,6 +15,7 @@ import numpy as np
 from repro.attacks.triggers import Trigger
 from repro.data.federated_data import FederatedDataset
 from repro.nn.serialization import unflatten_params
+from repro.registry import reject_unknown_keys
 
 
 @dataclass
@@ -38,6 +39,33 @@ class ClientEvaluation:
             "benign_accuracy": self.mean_benign_accuracy,
             "attack_success_rate": self.mean_attack_success_rate,
         }
+
+    def to_dict(self) -> dict:
+        """Full per-client JSON form (unlike :meth:`as_dict`, which averages).
+
+        Float64 values survive the JSON round-trip losslessly (``repr``-based
+        serialisation is shortest-round-trip exact).
+        """
+        return {
+            "benign_accuracy": [float(v) for v in self.benign_accuracy],
+            "attack_success_rate": [float(v) for v in self.attack_success_rate],
+            "client_ids": [int(c) for c in self.client_ids],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClientEvaluation":
+        reject_unknown_keys(
+            data,
+            {"benign_accuracy", "attack_success_rate", "client_ids"},
+            "client-evaluation",
+        )
+        return cls(
+            benign_accuracy=np.asarray(data.get("benign_accuracy", []), dtype=np.float64),
+            attack_success_rate=np.asarray(
+                data.get("attack_success_rate", []), dtype=np.float64
+            ),
+            client_ids=[int(c) for c in data.get("client_ids", [])],
+        )
 
 
 def _evaluate_params_on_client(

@@ -5,7 +5,11 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.defenses.base import AggregationContext, MeanAggregator
+import repro.defenses  # noqa: F401 - populate the defense registry
+from repro.defenses.base import AggregationContext, Aggregator, MeanAggregator, clip_to_norm
+from repro.defenses.registry import make_defense
+from repro.federated.engine.plan import ClientUpdate
+from repro.registry import DEFENSES
 from repro.defenses.crfl import CRFL
 from repro.defenses.dp import DPAggregator
 from repro.defenses.flare import FLARE
@@ -206,3 +210,154 @@ class TestLegacyGeneratorShim:
         with pytest.warns(DeprecationWarning, match="AggregationContext"):
             out = MeanAggregator()(benign_updates, GLOBAL, np.random.default_rng(0))
         np.testing.assert_allclose(out, benign_updates.mean(axis=0))
+
+
+def _stream(aggregator, updates, global_params, ctx, order=None):
+    """Push a matrix through the streaming protocol in the given slot order."""
+    state = aggregator.begin_round(ctx)
+    for slot in order if order is not None else range(updates.shape[0]):
+        aggregator.accumulate(
+            state,
+            ClientUpdate(client_id=100 + slot, slot=slot, update=updates[slot]),
+        )
+    return aggregator.finalize(state, global_params, ctx)
+
+
+class TestStreamingProtocol:
+    """Every registered defense must round-trip the streaming protocol
+    bit-identically to its matrix ``aggregate`` — with no per-defense code
+    beyond the four opt-in streaming implementations."""
+
+    STREAMING = {"mean", "norm_bound", "dp", "signsgd"}
+
+    def test_streaming_flags(self):
+        flagged = {
+            name for name in DEFENSES.names() if make_defense(name).streaming
+        }
+        assert flagged == self.STREAMING
+
+    @pytest.mark.parametrize("name", sorted(DEFENSES.names()))
+    def test_matches_matrix_path_bitwise(self, name, rng):
+        updates = rng.normal(size=(7, 24))
+        global_params = rng.normal(size=24)
+        matrix = make_defense(name)(updates, global_params, _ctx())
+        streamed = _stream(make_defense(name), updates, global_params, _ctx())
+        np.testing.assert_array_equal(streamed, matrix)
+
+    @pytest.mark.parametrize("name", sorted(DEFENSES.names()))
+    def test_out_of_order_accumulation_is_reordered(self, name, rng):
+        updates = rng.normal(size=(6, 16))
+        global_params = rng.normal(size=16)
+        in_order = _stream(make_defense(name), updates, global_params, _ctx())
+        shuffled = _stream(
+            make_defense(name), updates, global_params, _ctx(),
+            order=[5, 2, 0, 4, 1, 3],
+        )
+        np.testing.assert_array_equal(shuffled, in_order)
+
+    def test_streaming_defenses_keep_o_param_dim_state(self, rng):
+        # In-order accumulation must fold immediately: nothing pending, and
+        # the running state is one vector, not a growing buffer.
+        updates = rng.normal(size=(5, 8))
+        agg = MeanAggregator()
+        state = agg.begin_round(_ctx())
+        for slot in range(5):
+            agg.accumulate(state, ClientUpdate(client_id=slot, slot=slot, update=updates[slot]))
+            assert not state.pending
+            assert isinstance(state.data, np.ndarray) and state.data.shape == (8,)
+        assert state.count == 5
+
+    def test_duplicate_slot_rejected(self, rng):
+        agg = MeanAggregator()
+        state = agg.begin_round(_ctx())
+        agg.accumulate(state, ClientUpdate(client_id=0, slot=0, update=np.ones(4)))
+        with pytest.raises(ValueError, match="duplicate"):
+            agg.accumulate(state, ClientUpdate(client_id=1, slot=0, update=np.ones(4)))
+
+    def test_finalize_with_missing_slot_rejected(self):
+        agg = MeanAggregator()
+        state = agg.begin_round(_ctx())
+        agg.accumulate(state, ClientUpdate(client_id=2, slot=2, update=np.ones(4)))
+        with pytest.raises(ValueError, match="never arrived"):
+            agg.finalize(state, np.zeros(4))
+
+    def test_finalize_error_lists_every_gap(self):
+        agg = MeanAggregator()
+        state = agg.begin_round(_ctx())
+        for slot in (1, 3):
+            agg.accumulate(state, ClientUpdate(client_id=slot, slot=slot, update=np.ones(4)))
+        with pytest.raises(ValueError, match=r"\[0, 2\] never arrived"):
+            agg.finalize(state, np.zeros(4))
+
+    def test_finalize_with_missing_trailing_slots_rejected(self):
+        # A dropped highest slot leaves nothing pending; the check needs the
+        # round size, which the server's context always carries.
+        ctx = AggregationContext(
+            rng=np.random.default_rng(0), round_idx=0, sampled_clients=(10, 11, 12)
+        )
+        agg = MeanAggregator()
+        state = agg.begin_round(ctx)
+        for slot in (0, 1):
+            agg.accumulate(state, ClientUpdate(client_id=10 + slot, slot=slot, update=np.ones(4)))
+        with pytest.raises(ValueError, match="only 2 updates"):
+            agg.finalize(state, np.zeros(4))
+
+    def test_finalize_empty_round_rejected(self):
+        agg = MeanAggregator()
+        with pytest.raises(ValueError, match="empty round"):
+            agg.finalize(agg.begin_round(_ctx()), np.zeros(4))
+
+    def test_noise_consumption_matches_matrix_path(self, benign_updates):
+        # Defenses drawing rng noise must consume the stream identically in
+        # both protocols, or seeded runs would diverge by path.
+        for factory in (
+            lambda: NormBound(max_norm=0.5, noise_std=0.3),
+            lambda: DPAggregator(clip_norm=0.5, noise_multiplier=0.7),
+        ):
+            matrix = factory()(benign_updates, GLOBAL, _ctx())
+            streamed = _stream(factory(), benign_updates, GLOBAL, _ctx())
+            np.testing.assert_array_equal(streamed, matrix)
+
+    def test_subclass_overriding_aggregate_loses_streaming_flag(self):
+        class Doubled(MeanAggregator):
+            def aggregate(self, updates, global_params, ctx):
+                return 2.0 * updates.mean(axis=0)
+
+        assert Doubled.streaming is False
+        # ... but the buffering fallback routes streaming calls through the
+        # subclass's own matrix math.
+        updates = np.arange(8, dtype=np.float64).reshape(2, 4)
+        streamed = _stream(Doubled(), updates, np.zeros(4), _ctx())
+        np.testing.assert_array_equal(streamed, 2.0 * updates.mean(axis=0))
+
+    def test_subclass_redeclaring_streaming_keeps_it(self):
+        class StillStreaming(MeanAggregator):
+            streaming = True
+
+            def aggregate(self, updates, global_params, ctx):
+                return updates.mean(axis=0)
+
+        assert StillStreaming.streaming is True
+
+
+class TestClipToNorm:
+    def test_matches_matrix_clipping_bitwise(self, rng):
+        updates = rng.normal(size=(9, 33)) * rng.uniform(0.1, 40.0, size=(9, 1))
+        max_norm = 2.5
+        norms = np.linalg.norm(updates, axis=1, keepdims=True)
+        matrix = updates * np.minimum(1.0, max_norm / np.clip(norms, 1e-12, None))
+        for i in range(updates.shape[0]):
+            np.testing.assert_array_equal(clip_to_norm(updates[i], max_norm), matrix[i])
+
+    def test_zero_vector_is_safe(self):
+        np.testing.assert_array_equal(clip_to_norm(np.zeros(5), 1.0), np.zeros(5))
+
+    def test_small_updates_unchanged_in_value(self, rng):
+        v = rng.normal(size=12) * 1e-3
+        np.testing.assert_array_equal(clip_to_norm(v, 10.0), v * np.minimum(1.0, 10.0 / np.linalg.norm(v[None, :], axis=1)))
+
+
+class TestBaseAggregator:
+    def test_matrix_protocol_requires_implementation(self):
+        with pytest.raises(NotImplementedError):
+            Aggregator()(np.ones((2, 3)), np.zeros(3), _ctx())

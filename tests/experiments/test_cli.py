@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.experiments.results import ExperimentResult
 from repro.experiments.scenario import Scenario
 from repro.experiments.suite import Suite
 
@@ -75,6 +76,26 @@ class TestRun:
         assert len(payload["history"]["records"]) == 1
         assert "benign_accuracy" in payload["summary"]
 
+    def test_out_file_reloads_as_experiment_result(
+        self, tiny_scenario_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "results.json"
+        assert main(["run", str(tiny_scenario_path), "--out", str(out_path)]) == 0
+        result = ExperimentResult.load(out_path)
+        assert isinstance(result.config, Scenario)
+        assert result.config.name == "cli-smoke"
+        assert len(result.history) == 2
+        # Lossless: serialising the reloaded result reproduces the file.
+        assert result.to_dict() == json.loads(out_path.read_text())
+
+    def test_streaming_flag_is_applied(self, tiny_scenario_path, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        rc = main(
+            ["run", str(tiny_scenario_path), "--streaming", "off", "--out", str(out_path)]
+        )
+        assert rc == 0
+        assert json.loads(out_path.read_text())["scenario"]["streaming"] == "off"
+
     def test_run_rejects_unknown_scenario_key(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text('{"allpha": 0.1}')
@@ -106,3 +127,27 @@ class TestSweep:
         assert main(["sweep", str(suite_path)]) == 0
         out = capsys.readouterr().out
         assert "cli-sweep" in out and "median" in out and "benign_accuracy" in out
+
+    def test_sweep_out_results_reload_losslessly(self, tmp_path, capsys):
+        base = Scenario(
+            num_clients=8,
+            samples_per_client=12,
+            num_classes=4,
+            image_size=12,
+            alpha=0.3,
+            rounds=1,
+            sample_rate=0.5,
+            seed=3,
+            max_test_samples=12,
+        )
+        suite_path = tmp_path / "suite.json"
+        out_path = tmp_path / "sweep_results.json"
+        Suite.grid(base, name="cli-sweep", defense=["mean", "median"]).save(suite_path)
+        assert main(["sweep", str(suite_path), "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert len(payload["results"]) == 2
+        reloaded = [ExperimentResult.from_dict(r) for r in payload["results"]]
+        assert [r.config.defense for r in reloaded] == ["mean", "median"]
+        for result, raw in zip(reloaded, payload["results"]):
+            assert result.to_dict() == raw
+            assert result.summary()["rounds"] == 1.0

@@ -1,0 +1,256 @@
+"""Tests for the streaming update pipeline: ClientUpdate, iter_updates,
+the incremental Aggregator protocol and the server's streaming round path.
+
+The acceptance bar: for the same seed, ``streaming="on"`` and
+``streaming="off"`` produce bit-identical ``TrainingHistory`` objects on the
+serial and thread backends — including under *forced out-of-order
+completion* — for both a true streaming defense (``mean``) and a buffering
+one (``krum``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.defenses.base import MeanAggregator
+from repro.defenses.krum import Krum
+from repro.federated.algorithms.fedavg import FedAvg
+from repro.federated.client import LocalTrainingConfig
+from repro.federated.engine import CallbackHook, ClientUpdate, build_round_plan
+from repro.federated.engine import backends as backends_mod
+from repro.federated.server import FederatedServer, ServerConfig
+
+
+def _make_server(
+    federation,
+    factory,
+    backend,
+    streaming="auto",
+    aggregator=None,
+    rounds=3,
+    hooks=None,
+):
+    config = ServerConfig(
+        rounds=rounds,
+        sample_rate=0.5,
+        seed=2,
+        streaming=streaming,
+        local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
+    )
+    return FederatedServer(
+        federation,
+        factory,
+        FedAvg(),
+        config,
+        aggregator=aggregator,
+        backend=backend,
+        hooks=hooks,
+    )
+
+
+def _fingerprint(history):
+    return [
+        (
+            r.round_idx,
+            tuple(r.sampled_clients),
+            tuple(r.compromised_sampled),
+            r.mean_benign_loss,
+            r.update_norm,
+        )
+        for r in history.records
+    ]
+
+
+class TestClientUpdate:
+    def test_from_result_carries_slot_and_weight(self):
+        plan = build_round_plan(1, [4, 7], set(), seed=0, attack_active=False)
+        result = backends_mod.ClientResult(task=plan.tasks[1], update=np.ones(3), loss=0.5)
+        update = ClientUpdate.from_result(result, num_examples=12)
+        assert update.client_id == 7
+        assert update.slot == 1
+        assert update.loss == 0.5
+        assert not update.malicious
+        assert update.num_examples == 12
+        assert update.weight == 12.0
+        assert update.update is result.update  # shares, does not copy
+
+    def test_iter_updates_covers_plan(self, small_federation, image_model_factory):
+        server = _make_server(small_federation, image_model_factory, "serial")
+        plan = build_round_plan(
+            0, range(small_federation.num_clients), set(), seed=2, attack_active=False
+        )
+        updates = list(server.backend.iter_updates(plan, server.global_params))
+        assert sorted(u.slot for u in updates) == list(range(len(plan)))
+        assert {u.client_id for u in updates} == set(plan.sampled_clients)
+        for u in updates:
+            assert u.num_examples == len(small_federation.client(u.client_id).train)
+
+
+class TestServerStreamingConfig:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="streaming"):
+            ServerConfig(streaming="sometimes")
+
+    def test_auto_streams_only_streaming_aggregators(
+        self, small_federation, image_model_factory, monkeypatch
+    ):
+        # Under auto + mean, the matrix aggregate() must never run.
+        def boom(self, updates, global_params, ctx):
+            raise AssertionError("matrix path used despite streaming=auto")
+
+        monkeypatch.setattr(MeanAggregator, "aggregate", boom)
+        server = _make_server(small_federation, image_model_factory, "serial", rounds=1)
+        server.run()
+
+    def test_subclass_overriding_aggregate_falls_back_to_buffering(
+        self, small_federation, image_model_factory
+    ):
+        # A subclass that redefines the matrix math without touching the
+        # streaming machinery must not inherit mean's streaming fold.
+        calls = []
+
+        class Recording(MeanAggregator):
+            def aggregate(self, updates, global_params, ctx):
+                calls.append(updates.shape)
+                return super().aggregate(updates, global_params, ctx)
+
+        assert Recording.streaming is False
+        server = _make_server(
+            small_federation, image_model_factory, "serial",
+            aggregator=Recording(), rounds=2,
+        )
+        server.run()
+        assert len(calls) == 2
+
+    def test_streaming_on_uses_buffering_fallback_for_krum(
+        self, small_federation, image_model_factory
+    ):
+        on = _make_server(
+            small_federation, image_model_factory, "serial",
+            streaming="on", aggregator=Krum(num_malicious=1),
+        )
+        off = _make_server(
+            small_federation, image_model_factory, "serial",
+            streaming="off", aggregator=Krum(num_malicious=1),
+        )
+        on.run()
+        off.run()
+        np.testing.assert_array_equal(on.global_params, off.global_params)
+        assert _fingerprint(on.history) == _fingerprint(off.history)
+
+
+class TestStreamingBitIdentity:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    @pytest.mark.parametrize("make_aggregator", [MeanAggregator, Krum], ids=["mean", "krum"])
+    def test_on_equals_off(
+        self, small_federation, image_model_factory, backend, make_aggregator
+    ):
+        on = _make_server(
+            small_federation, image_model_factory, backend,
+            streaming="on", aggregator=make_aggregator(),
+        )
+        off = _make_server(
+            small_federation, image_model_factory, backend,
+            streaming="off", aggregator=make_aggregator(),
+        )
+        on.run()
+        off.run()
+        on.close()
+        off.close()
+        np.testing.assert_array_equal(on.global_params, off.global_params)
+        assert _fingerprint(on.history) == _fingerprint(off.history)
+
+
+class TestOutOfOrderCompletion:
+    """Reversed completion order on the thread backend must not change results."""
+
+    @pytest.fixture()
+    def reversed_completion(self, monkeypatch):
+        """Delay benign tasks so higher sampled slots finish first."""
+        real = backends_mod.run_benign_task
+        completion_order: list[int] = []
+
+        def delayed(ctx, task, global_params, model):
+            result = real(ctx, task, global_params, model)
+            # Later slots get shorter sleeps: slot 0 finishes last.
+            time.sleep(0.06 * (4 - min(task.order, 3)))
+            completion_order.append(task.order)
+            return result
+
+        monkeypatch.setattr(backends_mod, "run_benign_task", delayed)
+        return completion_order
+
+    @pytest.mark.parametrize("make_aggregator", [MeanAggregator, Krum], ids=["mean", "krum"])
+    def test_thread_matches_serial_history(
+        self, small_federation, image_model_factory, reversed_completion, make_aggregator
+    ):
+        threaded = _make_server(
+            small_federation, image_model_factory, "thread",
+            streaming="on", aggregator=make_aggregator(), rounds=2,
+        )
+        # Enough workers that every benign task runs concurrently and the
+        # injected delays fully control completion order.
+        threaded.backend.max_workers = 8
+        threaded.run()
+        threaded.close()
+
+        serial = _make_server(
+            small_federation, image_model_factory, "serial",
+            streaming="on", aggregator=make_aggregator(), rounds=2,
+        )
+        serial.run()
+
+        # The injected delays really did reverse at least one round's
+        # completion order — otherwise this test is vacuous.
+        assert reversed_completion != sorted(reversed_completion)
+        np.testing.assert_array_equal(threaded.global_params, serial.global_params)
+        assert _fingerprint(threaded.history) == _fingerprint(serial.history)
+
+
+class TestOnUpdateHook:
+    def test_fires_once_per_client_between_start_and_collected(
+        self, small_federation, image_model_factory
+    ):
+        events = []
+        hook = CallbackHook(
+            on_round_start=lambda s, p: events.append("start"),
+            on_update=lambda s, p, u: events.append(("update", u.slot)),
+            on_updates_collected=lambda s, p, r: events.append(("collected", len(r))),
+        )
+        server = _make_server(
+            small_federation, image_model_factory, "serial", rounds=1, hooks=[hook]
+        )
+        record = server.run_round()
+        n = len(record.sampled_clients)
+        assert events[0] == "start"
+        assert events[1:-1] == [("update", slot) for slot in range(n)]
+        assert events[-1] == ("collected", n)
+
+    def test_fires_on_buffered_path_too(self, small_federation, image_model_factory):
+        seen = []
+        hook = CallbackHook(on_update=lambda s, p, u: seen.append(u))
+        server = _make_server(
+            small_federation, image_model_factory, "serial",
+            streaming="off", rounds=1, hooks=[hook],
+        )
+        record = server.run_round()
+        assert [u.slot for u in seen] == list(range(len(record.sampled_clients)))
+        assert all(isinstance(u, ClientUpdate) for u in seen)
+
+    def test_streaming_round_skips_retention_without_consumers(
+        self, small_federation, image_model_factory
+    ):
+        # No hook consumes the collected list and FedAvg's post_aggregate is
+        # the base no-op, so the streaming path must not retain updates.
+        collected = []
+        hook = CallbackHook(on_update=lambda s, p, u: collected.append(u.slot))
+        server = _make_server(
+            small_federation, image_model_factory, "serial", rounds=1, hooks=[hook]
+        )
+        assert not server.hooks.wants_collected_results()
+        assert not server._algorithm_consumes_updates()
+        record = server.run_round()
+        assert collected == list(range(len(record.sampled_clients)))
