@@ -1,0 +1,73 @@
+"""Distill a pytest-benchmark JSON report into the repo's perf trajectory.
+
+CI runs the benchmark suites with ``--benchmark-json=bench_raw.json``; this
+script reduces that (large, machine-specific) report to the small record the
+repo tracks per PR — one ``(op, median, param_dim)`` row per benchmark —
+and writes ``BENCH_<pr>.json``, which the workflow uploads as an artifact::
+
+    python benchmarks/record.py bench_raw.json --pr 4
+
+``param_dim`` is taken from each benchmark's ``extra_info`` when the suite
+records one (the perf benches tag themselves); benches without a parameter
+dimension record ``null``.  Medians are in seconds, as reported by
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def distill(raw: dict) -> list[dict]:
+    """Reduce a pytest-benchmark report to (op, median, param_dim) rows."""
+    records = []
+    for bench in raw.get("benchmarks", []):
+        extra = bench.get("extra_info", {})
+        records.append(
+            {
+                "op": bench["name"],
+                "median": bench["stats"]["median"],
+                "param_dim": extra.get("param_dim"),
+            }
+        )
+    return sorted(records, key=lambda r: r["op"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Distill a pytest-benchmark JSON report to BENCH_<pr>.json"
+    )
+    parser.add_argument("report", type=Path, help="pytest-benchmark --benchmark-json output")
+    parser.add_argument("--pr", type=int, required=True, help="PR number for the record")
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="output path (default BENCH_<pr>.json next to the report's cwd)",
+    )
+    args = parser.parse_args(argv)
+
+    raw = json.loads(args.report.read_text())
+    records = distill(raw)
+    if not records:
+        print(f"error: no benchmarks found in {args.report}", file=sys.stderr)
+        return 2
+    machine_info = raw.get("machine_info", {})
+    cpu = machine_info.get("cpu")
+    payload = {
+        "pr": args.pr,
+        "cpu_count": cpu.get("count") if isinstance(cpu, dict) else None,
+        "machine": machine_info.get("machine"),
+        "records": records,
+    }
+    out = args.out or Path(f"BENCH_{args.pr}.json")
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"Wrote {out} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

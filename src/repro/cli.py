@@ -8,7 +8,8 @@ Three subcommands::
 
 ``run`` accepts ``--set key=value`` overrides (values parsed as literals,
 component fields accept spec strings like ``--set defense=krum:multi=3``),
-``--streaming auto|on|off`` to pick the update-aggregation path, and
+``--streaming auto|on|off`` to pick the update-aggregation path,
+``--shards N`` to fold shard-capable defenses across a worker pool, and
 ``--out results.json`` to write the full
 :class:`~repro.experiments.results.ExperimentResult` as JSON — the file
 reloads losslessly via ``ExperimentResult.load()`` and re-running the
@@ -25,7 +26,7 @@ from pathlib import Path
 from repro.experiments.results import format_table
 from repro.experiments.scenario import Scenario
 from repro.experiments.suite import Suite
-from repro.registry import Registry, parse_literal
+from repro.registry import DEFENSES, Registry, parse_literal
 
 
 def _add_run_overrides(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +49,12 @@ def _add_run_overrides(parser: argparse.ArgumentParser) -> None:
         "--streaming",
         choices=("auto", "on", "off"),
         help="fold client updates into the aggregator online (default auto)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        help="split the streaming fold across this many parameter shards "
+        "(shard-capable defenses only; others keep the single fold)",
     )
     parser.add_argument("--out", type=Path, help="write results as JSON")
 
@@ -77,7 +84,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
     rows = []
     for name in registry.names():
         params = ", ".join(str(p) for p in registry.describe(name))
-        rows.append({registry.family: name, "params": params or "(none)"})
+        row = {registry.family: name, "params": params or "(none)"}
+        if registry is DEFENSES:
+            # Aggregation capabilities: which update path(s) the defense can
+            # take (streaming O(param_dim) fold, sharded worker-pool fold).
+            component = registry.get(name)
+            caps = [
+                flag
+                for flag in ("streaming", "shardable")
+                if getattr(component, flag, False)
+            ]
+            row["caps"] = ", ".join(caps) or "buffered"
+        rows.append(row)
     print(format_table(rows))
     return 0
 
@@ -91,6 +109,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["backend_workers"] = args.workers
     if args.streaming is not None:
         overrides["streaming"] = args.streaming
+    if args.shards is not None:
+        overrides["num_shards"] = args.shards
     if overrides:
         scenario = scenario.with_overrides(**overrides)
     label = scenario.name or Path(args.scenario).stem

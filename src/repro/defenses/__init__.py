@@ -4,14 +4,17 @@ Each defense implements the :class:`~repro.defenses.base.Aggregator`
 interface: given the stack of client updates collected in a round it returns
 the aggregated update the server applies.  Every defense also supports the
 incremental ``begin_round``/``accumulate``/``finalize`` streaming protocol
-(buffered automatically by the base class); ``mean``, ``norm_bound``, ``dp``
-and ``signsgd`` additionally stream with O(param_dim) round state.  The
-catalogue mirrors Table I of the paper:
+(buffered automatically by the base class); ``mean``, ``weighted_mean``,
+``norm_bound``, ``dp`` and ``signsgd`` additionally stream with O(param_dim)
+round state and shard across a worker pool
+(:mod:`repro.federated.engine.sharding`).  The catalogue mirrors Table I of
+the paper plus the example-weighted FedAvg variant:
 
 =====================  =====================================================
 Defense                Module
 =====================  =====================================================
 FedAvg mean            :class:`~repro.defenses.base.MeanAggregator`
+Weighted FedAvg        :class:`~repro.defenses.weighted_mean.WeightedMeanAggregator`
 Krum / Multi-Krum      :class:`~repro.defenses.krum.Krum`
 Coordinate-wise median :class:`~repro.defenses.median.CoordinateMedian`
 Trimmed mean           :class:`~repro.defenses.trimmed_mean.TrimmedMean`
@@ -45,12 +48,14 @@ from repro.defenses.registry import available_defenses, make_defense
 from repro.defenses.rlr import RobustLearningRate
 from repro.defenses.signsgd import SignSGDAggregator
 from repro.defenses.trimmed_mean import TrimmedMean
+from repro.defenses.weighted_mean import WeightedMeanAggregator
 
 __all__ = [
     "AggregationContext",
     "AggregationState",
     "Aggregator",
     "MeanAggregator",
+    "WeightedMeanAggregator",
     "clip_to_norm",
     "Krum",
     "CoordinateMedian",

@@ -12,9 +12,22 @@ Two equivalent protocols are exposed:
   complete.  The base class provides an automatic buffering fallback (updates
   are collected and handed to :meth:`Aggregator.aggregate` at finalize), so
   every registered defense supports the streaming call shape unchanged;
-  defenses whose math is a per-update fold (mean, norm bounding, DP,
-  SignSGD) opt into true O(param_dim) state by overriding the ``_begin`` /
-  ``_fold`` / ``_finalize`` extension points and setting ``streaming = True``.
+  defenses whose math is a per-update fold (mean, weighted mean, norm
+  bounding, DP, SignSGD) opt into true O(param_dim) state by implementing
+  the *slice fold* extension points (:meth:`Aggregator.prepare_update` /
+  :meth:`Aggregator.fold_aux` / :meth:`Aggregator.fold_slice` /
+  :meth:`Aggregator.finalize_vector`) and setting ``streaming = True`` and
+  ``shardable = True``.
+
+Shardable defenses decompose their fold *elementwise* over contiguous
+parameter slices: any whole-vector work (e.g. the clipping norm) happens in
+:meth:`Aggregator.prepare_update`, and :meth:`Aggregator.fold_slice` then
+folds a slice of the update using only that precomputed value.  Because the
+fold is elementwise, splitting the parameter vector into contiguous shards
+and folding each shard independently (still in slot order) is bit-identical
+to the single-fold path — which is what lets
+:class:`~repro.federated.engine.sharding.ShardedAggregator` fan the hot
+accumulate loop out over a shard-worker pool without changing results.
 
 Determinism: floating-point accumulation is order-sensitive, so
 :meth:`Aggregator.accumulate` never folds an update the moment it arrives.
@@ -67,13 +80,19 @@ class AggregationState:
 
     ``data`` is the defense-specific accumulator (a list of updates for the
     buffering fallback, an O(param_dim) running vector for streaming
-    defenses).  ``pending`` parks updates that arrived ahead of their
-    sampled-slot predecessors; ``cursor`` is the next slot to fold and
-    ``count`` the number of updates accumulated so far (folded + pending).
+    defenses).  ``aux`` is the slot-order fold of per-update auxiliary
+    values (:meth:`Aggregator.fold_aux` — e.g. the weighted mean's total
+    example weight); it lives on the state rather than in ``data`` so the
+    sharded fold, whose per-shard accumulators only ever see slices, still
+    has the round-level scalars at finalize.  ``pending`` parks updates that
+    arrived ahead of their sampled-slot predecessors; ``cursor`` is the next
+    slot to fold and ``count`` the number of updates accumulated so far
+    (folded + pending).
     """
 
     ctx: AggregationContext
     data: Any = None
+    aux: Any = None
     pending: dict = field(default_factory=dict)
     cursor: int = 0
     count: int = 0
@@ -91,9 +110,14 @@ class Aggregator:
     The streaming protocol (:meth:`begin_round` / :meth:`accumulate` /
     :meth:`finalize`) works for every defense: the default implementation
     buffers updates and delegates to :meth:`aggregate` at finalize time.
-    Streaming defenses override the ``_begin`` / ``_fold`` / ``_finalize``
-    extension points instead of the protocol methods themselves, so the
-    deterministic slot-order fold rule lives in exactly one place.
+    Streaming defenses implement the slice-fold extension points
+    (:meth:`prepare_update` / :meth:`fold_aux` / :meth:`fold_slice` /
+    :meth:`finalize_vector`) and set ``streaming = shardable = True`` —
+    never the protocol methods themselves — so the deterministic slot-order
+    fold rule lives in exactly one place and the sharded worker-pool fold
+    comes for free.  (``_begin`` / ``_fold`` / ``_finalize`` remain
+    overridable for folds that genuinely cannot decompose over slices, at
+    the cost of staying single-fold.)
 
     Back-compat: calling an aggregator with a bare ``np.random.Generator`` in
     place of the context still works — the generator is wrapped into a
@@ -107,6 +131,21 @@ class Aggregator:
     #: exactly when this is set.
     streaming = False
 
+    #: True when the streaming fold decomposes elementwise over contiguous
+    #: parameter slices (see the module docstring).  Shardable defenses can
+    #: be wrapped in :class:`~repro.federated.engine.sharding.
+    #: ShardedAggregator`; non-shardable ones fall back to the single-fold
+    #: (or buffering) path unchanged.
+    shardable = False
+
+    #: True when the defense has no matrix path at all (its inputs only
+    #: travel on :class:`~repro.federated.engine.plan.ClientUpdate`, e.g.
+    #: per-client example counts).  The server and scenario validation fail
+    #: fast when such a defense is configured with ``streaming="off"``
+    #: instead of wasting a round of client training before the first
+    #: aggregate call raises.
+    streaming_only = False
+
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         # A subclass that replaces the matrix math without touching the
@@ -116,11 +155,13 @@ class Aggregator:
         # buffering fallback, which delegates to the subclass's aggregate().
         overrides_matrix = "aggregate" in cls.__dict__
         touches_streaming = {
-            "streaming", "_begin", "_fold", "_finalize",
+            "streaming", "shardable", "_begin", "_fold", "_finalize",
             "begin_round", "accumulate", "finalize",
+            "prepare_update", "fold_aux", "fold_slice", "finalize_vector",
         } & cls.__dict__.keys()
         if overrides_matrix and not touches_streaming:
             cls.streaming = False
+            cls.shardable = False
             cls._begin = Aggregator._begin
             cls._fold = Aggregator._fold
             cls._finalize = Aggregator._finalize
@@ -214,11 +255,16 @@ class Aggregator:
 
     def _begin(self, ctx: AggregationContext):
         """Fresh defense-specific accumulator (fallback: a buffer list)."""
-        return []
+        return None if self.shardable else []
 
     def _fold(self, state: AggregationState, update: "ClientUpdate") -> None:
         """Fold one update, called in slot order (fallback: buffer it)."""
-        state.data.append(update)
+        if self.shardable:
+            aux = self.prepare_update(update)
+            state.aux = self.fold_aux(state.aux, aux)
+            state.data = self.fold_slice(state.data, update.update, aux)
+        else:
+            state.data.append(update)
 
     def _finalize(
         self,
@@ -227,8 +273,55 @@ class Aggregator:
         ctx: AggregationContext,
     ) -> np.ndarray:
         """Produce the aggregated update (fallback: stack + delegate)."""
+        if self.shardable:
+            return self.finalize_vector(state.data, state, global_params, ctx)
         stacked = np.stack([u.update for u in state.data])
         return self.aggregate(stacked, global_params, ctx)
+
+    # -- slice-fold extension points (shardable streaming defenses) --------
+
+    def prepare_update(self, update: "ClientUpdate"):
+        """Whole-vector per-update precompute, run once in the coordinator.
+
+        Anything the fold needs that reduces over the *full* update vector
+        (the clipping norm, the aggregation weight) is computed here so
+        :meth:`fold_slice` stays strictly elementwise — that property is
+        what makes the sharded fold bit-identical to the single fold.
+        """
+        return None
+
+    def fold_aux(self, carry, aux):
+        """Slot-order fold of per-update aux values (coordinator-side).
+
+        Round-level scalars (e.g. the weighted mean's total weight) are
+        accumulated here rather than in the per-shard state, so they are
+        computed exactly once regardless of the shard count.
+        """
+        return carry
+
+    def fold_slice(self, acc, segment: np.ndarray, aux) -> np.ndarray:
+        """Fold one contiguous slice of an update into a slice accumulator.
+
+        ``acc`` is ``None`` on the first fold; ``segment`` is a view of the
+        update restricted to this shard's slice (the full vector when
+        unsharded).  Must be elementwise in ``segment`` given ``aux``.
+        """
+        raise NotImplementedError
+
+    def finalize_vector(
+        self,
+        folded: np.ndarray,
+        state: AggregationState,
+        global_params: np.ndarray,
+        ctx: AggregationContext,
+    ) -> np.ndarray:
+        """Aggregated update from the slot-order-folded parameter vector.
+
+        ``folded`` is the full-length fold result (shard accumulators are
+        concatenated back before this is called); ``state`` carries the
+        round's ``count`` and ``aux``.
+        """
+        raise NotImplementedError
 
 
 @DEFENSES.register("mean")
@@ -237,6 +330,7 @@ class MeanAggregator(Aggregator):
 
     name = "mean"
     streaming = True
+    shardable = True
 
     def aggregate(
         self,
@@ -246,41 +340,45 @@ class MeanAggregator(Aggregator):
     ) -> np.ndarray:
         return updates.mean(axis=0)
 
-    def _begin(self, ctx):
-        return None  # running sum, allocated on first fold
+    def fold_slice(self, acc, segment, aux):
+        if acc is None:
+            return np.array(segment, dtype=np.float64)
+        acc += segment
+        return acc
 
-    def _fold(self, state, update):
-        if state.data is None:
-            state.data = np.array(update.update, dtype=np.float64)
-        else:
-            state.data += update.update
-
-    def _finalize(self, state, global_params, ctx):
-        return state.data / state.count
+    def finalize_vector(self, folded, state, global_params, ctx):
+        return folded / state.count
 
 
-def clip_to_norm(update: np.ndarray, max_norm: float) -> np.ndarray:
-    """Scale ``update`` to at most ``max_norm`` (l2), matrix-path-identical.
+def clip_scale(update: np.ndarray, max_norm: float) -> np.ndarray:
+    """Shape-``(1,)`` factor scaling ``update`` to at most ``max_norm`` (l2).
 
     Shared by the streaming norm-bounding and DP folds.  The norm is computed
     through the same ``axis=1`` reduction the matrix implementations use on
     the stacked array — ``np.linalg.norm(v)`` on a 1-D vector takes a BLAS
     path with different rounding, which would break the bit-identity
-    guarantee between the streaming and buffered protocols.
+    guarantee between the streaming and buffered protocols.  The factor is
+    whole-vector work, so clip-style defenses compute it in
+    :meth:`Aggregator.prepare_update` and their slice folds stay elementwise.
     """
     norm = np.linalg.norm(update[None, :], axis=1)
-    scale = np.minimum(1.0, max_norm / np.clip(norm, 1e-12, None))
-    return update * scale
+    return np.minimum(1.0, max_norm / np.clip(norm, 1e-12, None))
 
 
-def fold_clipped_sum(state: AggregationState, update: "ClientUpdate", max_norm: float) -> None:
-    """Fold one update, clipped to ``max_norm``, into a running-sum state.
+def clip_to_norm(update: np.ndarray, max_norm: float) -> np.ndarray:
+    """Scale ``update`` to at most ``max_norm`` (l2), matrix-path-identical."""
+    return update * clip_scale(update, max_norm)
 
-    The shared ``_fold`` body of the clip-then-average streaming defenses
-    (norm bounding, DP); their finalize steps differ only in the noise term.
+
+def fold_scaled_sum(acc, segment: np.ndarray, scale) -> np.ndarray:
+    """Fold ``segment * scale`` into a running-sum slice accumulator.
+
+    The shared :meth:`Aggregator.fold_slice` body of the scale-then-average
+    streaming defenses (norm bounding, DP, weighted mean); their finalize
+    steps differ only in the noise/normalisation term.
     """
-    clipped = clip_to_norm(update.update, max_norm)
-    if state.data is None:
-        state.data = clipped.astype(np.float64)
-    else:
-        state.data += clipped
+    scaled = segment * scale
+    if acc is None:
+        return scaled.astype(np.float64)
+    acc += scaled
+    return acc

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.defenses.base import Aggregator, fold_clipped_sum
+from repro.defenses.base import Aggregator, clip_scale, fold_scaled_sum
 from repro.registry import DEFENSES
 
 
@@ -19,13 +19,14 @@ from repro.registry import DEFENSES
 class DPAggregator(Aggregator):
     """Clip-and-noise aggregation (DP-optimizer style).
 
-    Streams like :class:`~repro.defenses.norm_bound.NormBound`: per-update
-    clipping folds into one running vector, and the count-calibrated noise
-    is drawn once at finalize.
+    Streams (and shards) like :class:`~repro.defenses.norm_bound.NormBound`:
+    per-update clipping folds into one running vector, and the
+    count-calibrated noise is drawn once at finalize.
     """
 
     name = "dp"
     streaming = True
+    shardable = True
 
     def __init__(self, clip_norm: float = 1.0, noise_multiplier: float = 0.1) -> None:
         if clip_norm <= 0:
@@ -46,14 +47,14 @@ class DPAggregator(Aggregator):
             aggregated = aggregated + ctx.rng.normal(0.0, sigma, size=aggregated.shape)
         return aggregated
 
-    def _begin(self, ctx):
-        return None  # running sum of clipped updates
+    def prepare_update(self, update):
+        return clip_scale(update.update, self.clip_norm)
 
-    def _fold(self, state, update):
-        fold_clipped_sum(state, update, self.clip_norm)
+    def fold_slice(self, acc, segment, aux):
+        return fold_scaled_sum(acc, segment, aux)
 
-    def _finalize(self, state, global_params, ctx):
-        aggregated = state.data / state.count
+    def finalize_vector(self, folded, state, global_params, ctx):
+        aggregated = folded / state.count
         if self.noise_multiplier > 0:
             sigma = self.noise_multiplier * self.clip_norm / state.count
             aggregated = aggregated + ctx.rng.normal(0.0, sigma, size=aggregated.shape)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.defenses.base import Aggregator, fold_clipped_sum
+from repro.defenses.base import Aggregator, clip_scale, fold_scaled_sum
 from repro.registry import DEFENSES
 
 
@@ -21,11 +21,14 @@ class NormBound(Aggregator):
 
     Clipping is per-update and the average is a slot-ordered sum, so the
     defense streams: the round state is one running ``param_dim`` vector and
-    noise is drawn once at finalize, exactly as in the matrix path.
+    noise is drawn once at finalize, exactly as in the matrix path.  The
+    clipping norm is whole-vector work done in :meth:`prepare_update`; the
+    fold itself is an elementwise scaled sum, so the defense also shards.
     """
 
     name = "norm_bound"
     streaming = True
+    shardable = True
 
     def __init__(self, max_norm: float = 1.0, noise_std: float = 0.0) -> None:
         if max_norm <= 0:
@@ -44,14 +47,14 @@ class NormBound(Aggregator):
             aggregated = aggregated + ctx.rng.normal(0.0, self.noise_std, size=aggregated.shape)
         return aggregated
 
-    def _begin(self, ctx):
-        return None  # running sum of clipped updates
+    def prepare_update(self, update):
+        return clip_scale(update.update, self.max_norm)
 
-    def _fold(self, state, update):
-        fold_clipped_sum(state, update, self.max_norm)
+    def fold_slice(self, acc, segment, aux):
+        return fold_scaled_sum(acc, segment, aux)
 
-    def _finalize(self, state, global_params, ctx):
-        aggregated = state.data / state.count
+    def finalize_vector(self, folded, state, global_params, ctx):
+        aggregated = folded / state.count
         if self.noise_std > 0:
             aggregated = aggregated + ctx.rng.normal(0.0, self.noise_std, size=aggregated.shape)
         return aggregated

@@ -20,10 +20,12 @@ class SignSGDAggregator(Aggregator):
     The vote is a coordinate-wise sum of per-update signs, so the round
     state streams as a single running tally vector (sign sums are exact
     small integers in float64, so fold order cannot even change rounding).
+    The tally is strictly elementwise, so the defense also shards.
     """
 
     name = "signsgd"
     streaming = True
+    shardable = True
 
     def __init__(self, step_size: float = 0.01) -> None:
         if step_size <= 0:
@@ -34,14 +36,11 @@ class SignSGDAggregator(Aggregator):
         vote = np.sign(np.sign(updates).sum(axis=0))
         return self.step_size * vote
 
-    def _begin(self, ctx):
-        return None  # running sign tally
+    def fold_slice(self, acc, segment, aux):
+        if acc is None:
+            return np.sign(segment)
+        acc += np.sign(segment)
+        return acc
 
-    def _fold(self, state, update):
-        if state.data is None:
-            state.data = np.sign(update.update)
-        else:
-            state.data += np.sign(update.update)
-
-    def _finalize(self, state, global_params, ctx):
-        return self.step_size * np.sign(state.data)
+    def finalize_vector(self, folded, state, global_params, ctx):
+        return self.step_size * np.sign(folded)

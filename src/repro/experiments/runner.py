@@ -216,6 +216,7 @@ def run_experiment(
         local=config.local,
         eval_every=config.eval_every,
         streaming=config.streaming,
+        num_shards=config.num_shards,
     )
 
     eval_fn = None

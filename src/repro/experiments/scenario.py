@@ -95,6 +95,7 @@ class Scenario:
     backend: str = "serial"
     backend_workers: int | None = None  # worker cap for parallel backends
     streaming: str = "auto"             # fold updates online: auto|on|off
+    num_shards: int = 1                 # split the streaming fold across shards
 
     # Attack
     attack: str = "none"
@@ -203,6 +204,15 @@ class Scenario:
             )
         if self.streaming not in ("auto", "on", "off"):
             raise ValueError("streaming must be 'auto', 'on' or 'off'")
+        if self.streaming == "off" and getattr(
+            DEFENSES.get(self.defense), "streaming_only", False
+        ):
+            raise ValueError(
+                f"defense {self.defense!r} only supports the streaming update "
+                "path; use streaming='auto' or 'on'"
+            )
+        if not isinstance(self.num_shards, int) or self.num_shards < 1:
+            raise ValueError("num_shards must be a positive integer")
 
     # -- functional updates ------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.federated.client import LocalTrainingConfig
 from repro.federated.engine.backends import EngineContext, ExecutionBackend, make_backend
 from repro.federated.engine.hooks import EvaluationHook, HookPipeline, RoundHook
 from repro.federated.engine.plan import build_round_plan
+from repro.federated.engine.sharding import maybe_shard
 from repro.federated.history import RoundRecord, TrainingHistory
 from repro.federated.rng import personalization_seed
 from repro.federated.sampling import sample_clients
@@ -43,6 +44,13 @@ class ServerConfig:
     ``"auto"`` (default) streams exactly when the configured aggregator has
     a true streaming implementation (``aggregator.streaming``) and buffers
     otherwise.  Both paths are bit-identical for the same seed.
+
+    ``num_shards`` splits the streaming fold across that many contiguous
+    parameter-vector shards folded by a concurrent worker pool
+    (:mod:`repro.federated.engine.sharding`) when the aggregator supports it
+    (``aggregator.shardable``); other defenses keep the single-fold path.
+    ``shards=N`` is bit-identical to ``shards=1`` for the same seed on every
+    backend.
     """
 
     rounds: int = 20
@@ -53,6 +61,7 @@ class ServerConfig:
     local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
     eval_every: int | None = None
     streaming: str = "auto"
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -63,6 +72,8 @@ class ServerConfig:
             raise ValueError("server_lr must be positive")
         if self.streaming not in ("auto", "on", "off"):
             raise ValueError("streaming must be 'auto', 'on' or 'off'")
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be positive")
 
 
 class FederatedServer:
@@ -85,7 +96,16 @@ class FederatedServer:
         self.model_factory = model_factory
         self.algorithm = algorithm
         self.config = config
-        self.aggregator = aggregator or MeanAggregator()
+        # Shard-capable defenses fold across a worker pool when the config
+        # asks for it; everything else keeps the single-fold path unchanged.
+        self.aggregator = maybe_shard(aggregator or MeanAggregator(), config.num_shards)
+        if config.streaming == "off" and getattr(self.aggregator, "streaming_only", False):
+            # Fail fast: a streaming-only defense would otherwise waste a
+            # full round of client training before its aggregate() raised.
+            raise ValueError(
+                f"defense {self.aggregator.name!r} only supports the "
+                "streaming update path; run with streaming='auto' or 'on'"
+            )
         self.attack = attack
         self.compromised_ids = set(compromised_ids or [])
         if self.attack is not None and not self.compromised_ids:
@@ -298,5 +318,8 @@ class FederatedServer:
         )
 
     def close(self) -> None:
-        """Release backend worker resources (idempotent)."""
+        """Release backend and shard-pool worker resources (idempotent)."""
         self.backend.close()
+        closer = getattr(self.aggregator, "close", None)
+        if closer is not None:
+            closer()

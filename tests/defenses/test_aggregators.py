@@ -19,6 +19,7 @@ from repro.defenses.norm_bound import NormBound
 from repro.defenses.rlr import RobustLearningRate
 from repro.defenses.signsgd import SignSGDAggregator
 from repro.defenses.trimmed_mean import TrimmedMean
+from repro.defenses.weighted_mean import WeightedMeanAggregator
 
 
 @pytest.fixture()
@@ -164,6 +165,49 @@ class TestSignSGD:
             SignSGDAggregator(step_size=0.0)
 
 
+class TestWeightedMean:
+    def _stream_weighted(self, updates, weights, ctx=None):
+        agg = WeightedMeanAggregator()
+        state = agg.begin_round(ctx or _ctx())
+        for slot, weight in enumerate(weights):
+            agg.accumulate(
+                state,
+                ClientUpdate(
+                    client_id=slot, slot=slot, update=updates[slot],
+                    num_examples=weight,
+                ),
+            )
+        return agg.finalize(state, GLOBAL, ctx)
+
+    def test_weights_by_example_count(self, benign_updates):
+        weights = [3, 1, 4, 1, 5, 9]
+        out = self._stream_weighted(benign_updates, weights)
+        expected = (
+            np.sum([w * u for w, u in zip(weights, benign_updates)], axis=0)
+            / sum(weights)
+        )
+        np.testing.assert_allclose(out, expected)
+
+    def test_uniform_weights_match_mean(self, benign_updates):
+        out = self._stream_weighted(benign_updates, [7] * len(benign_updates))
+        np.testing.assert_allclose(out, benign_updates.mean(axis=0))
+
+    def test_unknown_example_counts_degrade_to_uniform(self, benign_updates):
+        # num_examples == 0 means "unknown" and contributes weight 1.0.
+        known = self._stream_weighted(benign_updates, [1] * len(benign_updates))
+        unknown = self._stream_weighted(benign_updates, [0] * len(benign_updates))
+        np.testing.assert_array_equal(unknown, known)
+
+    def test_matrix_path_raises(self, benign_updates):
+        with pytest.raises(ValueError, match="streaming"):
+            WeightedMeanAggregator()(benign_updates, GLOBAL, _ctx())
+
+    def test_registered_as_streaming_and_shardable(self):
+        agg = make_defense("weighted_mean")
+        assert isinstance(agg, WeightedMeanAggregator)
+        assert agg.streaming and agg.shardable
+
+
 class TestFLARE:
     def test_trust_scores_sum_to_one(self, benign_updates):
         weights = FLARE().trust_scores(benign_updates)
@@ -226,9 +270,9 @@ def _stream(aggregator, updates, global_params, ctx, order=None):
 class TestStreamingProtocol:
     """Every registered defense must round-trip the streaming protocol
     bit-identically to its matrix ``aggregate`` — with no per-defense code
-    beyond the four opt-in streaming implementations."""
+    beyond the opt-in streaming implementations."""
 
-    STREAMING = {"mean", "norm_bound", "dp", "signsgd"}
+    STREAMING = {"mean", "weighted_mean", "norm_bound", "dp", "signsgd"}
 
     def test_streaming_flags(self):
         flagged = {
@@ -236,7 +280,19 @@ class TestStreamingProtocol:
         }
         assert flagged == self.STREAMING
 
-    @pytest.mark.parametrize("name", sorted(DEFENSES.names()))
+    def test_every_streaming_defense_is_shardable(self):
+        # The streaming folds are all elementwise given their prepare_update
+        # precompute, so each one also supports the sharded worker-pool fold.
+        shardable = {
+            name for name in DEFENSES.names() if make_defense(name).shardable
+        }
+        assert shardable == self.STREAMING
+
+    # weighted_mean has no matrix path (example counts only travel on
+    # ClientUpdate); its streaming equivalences are pinned separately below.
+    @pytest.mark.parametrize(
+        "name", sorted(set(DEFENSES.names()) - {"weighted_mean"})
+    )
     def test_matches_matrix_path_bitwise(self, name, rng):
         updates = rng.normal(size=(7, 24))
         global_params = rng.normal(size=24)

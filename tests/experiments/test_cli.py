@@ -96,6 +96,23 @@ class TestRun:
         assert rc == 0
         assert json.loads(out_path.read_text())["scenario"]["streaming"] == "off"
 
+    def test_shards_flag_is_applied(self, tiny_scenario_path, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        rc = main(
+            ["run", str(tiny_scenario_path), "--shards", "4", "--out", str(out_path)]
+        )
+        assert rc == 0
+        assert json.loads(out_path.read_text())["scenario"]["num_shards"] == 4
+
+    def test_shards_flag_rejects_non_positive(self, tiny_scenario_path, capsys):
+        assert main(["run", str(tiny_scenario_path), "--shards", "0"]) == 2
+        assert "num_shards" in capsys.readouterr().err
+
+    def test_list_defenses_shows_capabilities(self, capsys):
+        assert main(["list", "defenses"]) == 0
+        out = capsys.readouterr().out
+        assert "caps" in out and "shardable" in out and "buffered" in out
+
     def test_run_rejects_unknown_scenario_key(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text('{"allpha": 0.1}')

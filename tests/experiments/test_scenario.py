@@ -131,6 +131,22 @@ class TestValidation:
         with pytest.raises(ValueError, match="did you mean 'collapois'"):
             Scenario(attack="collapois2", compromised_fraction=0.1)
 
+    def test_streaming_only_defense_rejects_streaming_off(self):
+        # Fail at configuration time, not after a round of client training.
+        with pytest.raises(ValueError, match="only supports the streaming"):
+            Scenario(defense="weighted_mean", streaming="off")
+        assert Scenario(defense="weighted_mean", streaming="auto").defense == "weighted_mean"
+
+    def test_num_shards_must_be_positive_int(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            Scenario(num_shards=0)
+        with pytest.raises(ValueError, match="num_shards"):
+            Scenario(num_shards=2.5)
+
+    def test_num_shards_round_trips(self):
+        scenario = Scenario(num_shards=4)
+        assert Scenario.from_dict(scenario.to_dict()).num_shards == 4
+
     def test_sentiment_normalization_is_explicit_and_identical(self):
         scenario = Scenario(dataset="sentiment", num_classes=10)
         assert scenario.num_classes == 2

@@ -1,0 +1,64 @@
+"""Tests for the perf-trajectory distiller (``benchmarks/record.py``)."""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.record import distill, main
+
+
+def _raw_report():
+    return {
+        "machine_info": {"machine": "x86_64", "cpu": {"count": 4}},
+        "benchmarks": [
+            {
+                "name": "test_zeta",
+                "stats": {"median": 0.25},
+                "extra_info": {},
+            },
+            {
+                "name": "test_alpha",
+                "stats": {"median": 1.5},
+                "extra_info": {"param_dim": 1_000_000, "rows": [{"x": 1}]},
+            },
+        ],
+    }
+
+
+class TestDistill:
+    def test_rows_are_sorted_and_minimal(self):
+        records = distill(_raw_report())
+        assert records == [
+            {"op": "test_alpha", "median": 1.5, "param_dim": 1_000_000},
+            {"op": "test_zeta", "median": 0.25, "param_dim": None},
+        ]
+
+    def test_empty_report_distills_to_nothing(self):
+        assert distill({"benchmarks": []}) == []
+
+
+class TestMain:
+    def test_writes_bench_record(self, tmp_path, capsys):
+        report = tmp_path / "raw.json"
+        report.write_text(json.dumps(_raw_report()))
+        out = tmp_path / "BENCH_7.json"
+        assert main([str(report), "--pr", "7", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["pr"] == 7
+        assert payload["cpu_count"] == 4
+        assert payload["machine"] == "x86_64"
+        assert [r["op"] for r in payload["records"]] == ["test_alpha", "test_zeta"]
+        assert "Wrote" in capsys.readouterr().out
+
+    def test_default_output_name_carries_pr(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        report = tmp_path / "raw.json"
+        report.write_text(json.dumps(_raw_report()))
+        assert main([str(report), "--pr", "12"]) == 0
+        assert json.loads((tmp_path / "BENCH_12.json").read_text())["pr"] == 12
+
+    def test_empty_report_fails(self, tmp_path, capsys):
+        report = tmp_path / "raw.json"
+        report.write_text(json.dumps({"benchmarks": []}))
+        assert main([str(report), "--pr", "4"]) == 2
+        assert "no benchmarks" in capsys.readouterr().err

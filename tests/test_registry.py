@@ -171,8 +171,10 @@ class TestFamilies:
         assert expected <= set(registry.names())
 
     def test_defense_catalogue_matches_table_one(self):
+        # Table I plus the example-weighted FedAvg variant (weighted_mean).
         assert set(DEFENSES.names()) == {
             "mean",
+            "weighted_mean",
             "krum",
             "median",
             "trimmed_mean",
