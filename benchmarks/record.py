@@ -7,6 +7,16 @@ and writes ``BENCH_<pr>.json``, which the workflow uploads as an artifact::
 
     python benchmarks/record.py bench_raw.json --pr 4
 
+``compare`` mode diffs a fresh report against the latest committed
+``BENCH_<pr>.json`` and prints a per-benchmark delta table, so the recorded
+perf trajectory is actually *read* every CI run, not just appended to::
+
+    python benchmarks/record.py compare bench_raw.json
+
+Regressions above the threshold (default 25%) print a ``WARNING`` but never
+fail the run — medians from shared CI runners are too noisy to gate on; the
+warning is the prompt for a human (or the next PR) to look.
+
 ``param_dim`` is taken from each benchmark's ``extra_info`` when the suite
 records one (the perf benches tag themselves); benches without a parameter
 dimension record ``null``.  Medians are in seconds, as reported by
@@ -36,7 +46,109 @@ def distill(raw: dict) -> list[dict]:
     return sorted(records, key=lambda r: r["op"])
 
 
+def latest_committed_record(root: Path) -> tuple[int, dict] | None:
+    """Load the highest-numbered ``BENCH_<pr>.json`` under ``root``."""
+    best: tuple[int, Path] | None = None
+    for path in root.glob("BENCH_*.json"):
+        stem = path.stem.removeprefix("BENCH_")
+        if stem.isdigit() and (best is None or int(stem) > best[0]):
+            best = (int(stem), path)
+    if best is None:
+        return None
+    return best[0], json.loads(best[1].read_text())
+
+
+def compare(
+    fresh: list[dict], baseline: list[dict], threshold: float
+) -> tuple[list[dict], list[str]]:
+    """Diff fresh benchmark rows against a baseline record.
+
+    Returns the delta rows (one per fresh benchmark, sorted by op) and the
+    list of over-threshold regression descriptions.
+    """
+    base_by_op = {row["op"]: row for row in baseline}
+    rows = []
+    regressions = []
+    for row in fresh:
+        base = base_by_op.get(row["op"])
+        entry = {
+            "op": row["op"],
+            "baseline_s": None if base is None else round(base["median"], 6),
+            "median_s": round(row["median"], 6),
+            "delta": "new",
+        }
+        if base is not None and base["median"] > 0:
+            ratio = row["median"] / base["median"] - 1.0
+            entry["delta"] = f"{ratio:+.1%}"
+            if ratio > threshold:
+                regressions.append(f"{row['op']}: {ratio:+.1%} vs baseline")
+        rows.append(entry)
+    for op in sorted(set(base_by_op) - {row["op"] for row in fresh}):
+        rows.append(
+            {"op": op, "baseline_s": round(base_by_op[op]["median"], 6),
+             "median_s": None, "delta": "removed"}
+        )
+    return sorted(rows, key=lambda r: r["op"]), regressions
+
+
+def _format_rows(rows: list[dict]) -> str:
+    columns = ["op", "baseline_s", "median_s", "delta"]
+    table = [[("" if row[c] is None else str(row[c])) for c in columns] for row in rows]
+    widths = [max(len(c), *(len(line[i]) for line in table)) for i, c in enumerate(columns)]
+    lines = ["  ".join(c.ljust(widths[i]) for i, c in enumerate(columns))]
+    lines.extend("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)) for line in table)
+    return "\n".join(lines)
+
+
+def main_compare(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="record.py compare",
+        description="Diff a fresh pytest-benchmark report against the latest "
+        "committed BENCH_<pr>.json (warn on regressions, never fail)",
+    )
+    parser.add_argument("report", type=Path, help="pytest-benchmark --benchmark-json output")
+    parser.add_argument(
+        "--against",
+        type=Path,
+        default=None,
+        help="baseline BENCH_<pr>.json (default: highest-numbered committed one)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="relative slowdown that triggers a warning (default 0.25 = +25%%)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh = distill(json.loads(args.report.read_text()))
+    if args.against is not None:
+        label = str(args.against)
+        baseline = json.loads(args.against.read_text())
+    else:
+        found = latest_committed_record(Path(__file__).resolve().parent.parent)
+        if found is None:
+            print("no committed BENCH_<pr>.json to compare against; skipping")
+            return 0
+        label = f"BENCH_{found[0]}.json"
+        baseline = found[1]
+
+    rows, regressions = compare(fresh, baseline.get("records", []), args.threshold)
+    print(f"Benchmark deltas vs {label} "
+          f"(baseline cpu_count={baseline.get('cpu_count')}):")
+    print(_format_rows(rows))
+    for regression in regressions:
+        print(f"WARNING: perf regression {regression}")
+    if not regressions:
+        print(f"No regressions above {args.threshold:.0%}.")
+    # Deliberately non-fatal: shared-runner medians are too noisy to gate on.
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "compare":
+        return main_compare(argv[1:])
     parser = argparse.ArgumentParser(
         description="Distill a pytest-benchmark JSON report to BENCH_<pr>.json"
     )

@@ -49,14 +49,20 @@ def main() -> None:
     backends = ["serial", "thread"]
     if "fork" in multiprocessing.get_all_start_methods():
         backends.append("process")
+    # Socket worker processes on separate interpreters (pays ~1s/worker
+    # spawn, the price of the multi-host story — see README).
+    backends.append("distributed")
     print(f"Registered backends: {', '.join(available_backends())}")
 
     histories = {}
     for backend in backends:
         print(f"\n=== backend: {backend} ===")
         start = time.perf_counter()
+        overrides = {"backend": backend}
+        if backend == "distributed":
+            overrides["backend_workers"] = 2
         result = run_experiment(
-            config.with_overrides(backend=backend),
+            config.with_overrides(**overrides),
             hooks=[ProgressHook()] if backend == "serial" else None,
         )
         elapsed = time.perf_counter() - start

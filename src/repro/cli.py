@@ -1,10 +1,11 @@
 """``python -m repro`` — run scenarios and sweeps without writing Python.
 
-Three subcommands::
+Four subcommands::
 
     python -m repro list [family]        # registered components + params
     python -m repro run scenario.json    # run one scenario
     python -m repro sweep suite.json     # run a sweep suite
+    python -m repro worker --listen :0   # standalone distributed worker
 
 ``run`` accepts ``--set key=value`` overrides (values parsed as literals,
 component fields accept spec strings like ``--set defense=krum:multi=3``),
@@ -26,7 +27,7 @@ from pathlib import Path
 from repro.experiments.results import format_table
 from repro.experiments.scenario import Scenario
 from repro.experiments.suite import Suite
-from repro.registry import DEFENSES, Registry, parse_literal
+from repro.registry import BACKENDS, DEFENSES, Registry, parse_literal
 
 
 def _add_run_overrides(parser: argparse.ArgumentParser) -> None:
@@ -95,6 +96,17 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 if getattr(component, flag, False)
             ]
             row["caps"] = ", ".join(caps) or "buffered"
+        elif registry is BACKENDS:
+            # Execution capabilities: does iter_updates stream (vs per-round
+            # barrier), does client work run in separate processes, can the
+            # workers live on other hosts.
+            component = registry.get(name)
+            caps = ["streaming" if getattr(component, "streaming_updates", False) else "barrier"]
+            if getattr(component, "process_isolation", False):
+                caps.append("processes")
+            if getattr(component, "distributed", False):
+                caps.append("multi-host")
+            row["caps"] = ", ".join(caps)
         rows.append(row)
     print(format_table(rows))
     return 0
@@ -151,6 +163,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    # Imported lazily: the worker pulls in the whole experiments stack.
+    from repro.federated.engine.distributed.worker import run_worker
+
+    return run_worker(listen=args.listen, once=args.once)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -190,6 +209,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--out", type=Path, help="write results as JSON")
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    worker_parser = sub.add_parser(
+        "worker",
+        help="start a standalone distributed-execution worker",
+        description="Start a worker process for backend='distributed'. The "
+        "worker listens for a coordinator, prints 'REPRO-WORKER LISTENING "
+        "<host> <port>' on stdout once bound, and serves coordinators until "
+        "interrupted. Point a run at it with "
+        "backend=\"distributed:connect='host:port'\".",
+    )
+    worker_parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="address to bind (default 127.0.0.1:0 = loopback, ephemeral port)",
+    )
+    worker_parser.add_argument(
+        "--once",
+        action="store_true",
+        help="exit after serving one coordinator (what spawned workers use)",
+    )
+    worker_parser.set_defaults(func=_cmd_worker)
     return parser
 
 

@@ -160,8 +160,19 @@ def build_algorithm(config: Scenario):
 
 
 def build_backend(config: Scenario):
-    """Instantiate the configured execution backend."""
-    return make_backend(config.backend, max_workers=config.backend_workers)
+    """Instantiate the configured execution backend.
+
+    Backends that execute on separate interpreters (``distributed``) expose
+    ``configure_scenario``; they get the scenario itself so their workers
+    can rebuild the execution context remotely.
+    """
+    backend = make_backend(
+        config.backend, max_workers=config.backend_workers, **config.backend_kwargs
+    )
+    configure = getattr(backend, "configure_scenario", None)
+    if configure is not None:
+        configure(config)
+    return backend
 
 
 def run_experiment(
@@ -247,10 +258,10 @@ def run_experiment(
         hooks=hooks,
     )
 
-    try:
+    # Context manager: worker processes and shard pools are released even
+    # when a round raises; driver-side helpers stay usable afterwards.
+    with server:
         server.run()
-    finally:
-        server.close()
     evaluation = evaluate_clients(
         dataset,
         eval_model,

@@ -94,6 +94,9 @@ class Scenario:
     eval_every: int | None = None
     backend: str = "serial"
     backend_workers: int | None = None  # worker cap for parallel backends
+    backend_kwargs: dict = field(default_factory=dict)  # extra backend ctor kwargs
+    #   (e.g. distributed's connect="host:port,..."); max_workers stays on
+    #   backend_workers so every backend shares one worker-cap field.
     streaming: str = "auto"             # fold updates online: auto|on|off
     num_shards: int = 1                 # split the streaming fold across shards
 
@@ -144,12 +147,11 @@ class Scenario:
             spec_name, spec_kwargs = parse_spec(backend_spec)
             self.backend = spec_name
             workers = spec_kwargs.pop("max_workers", None)
-            if spec_kwargs:
-                raise ValueError(
-                    f"backend spec {backend_spec!r} only accepts max_workers"
-                )
             if workers is not None:
                 self.backend_workers = workers
+            if spec_kwargs:
+                self.backend_kwargs = {**self.backend_kwargs, **spec_kwargs}
+        self.backend_kwargs = _jsonify(self.backend_kwargs)
         if isinstance(self.hidden, list):
             self.hidden = tuple(self.hidden)
         if isinstance(self.local, dict):
@@ -200,8 +202,20 @@ class Scenario:
             raise ValueError("backend_workers must be positive")
         if self.backend_workers is not None and self.backend == "serial":
             raise ValueError(
-                "backend_workers requires a parallel backend ('thread' or 'process')"
+                "backend_workers requires a parallel backend "
+                "('thread', 'process' or 'distributed')"
             )
+        if not isinstance(self.backend_kwargs, dict):
+            raise ValueError("backend_kwargs must be a dict")
+        if self.backend_kwargs:
+            accepted = {p.name for p in BACKENDS.describe(self.backend)}
+            unknown = sorted(set(self.backend_kwargs) - (accepted - {"max_workers"}))
+            if unknown:
+                raise ValueError(
+                    f"backend {self.backend!r} does not accept backend_kwargs "
+                    f"{unknown} (max_workers belongs on backend_workers); "
+                    f"accepted: {sorted(accepted - {'max_workers'}) or 'none'}"
+                )
         if self.streaming not in ("auto", "on", "off"):
             raise ValueError("streaming must be 'auto', 'on' or 'off'")
         if self.streaming == "off" and getattr(

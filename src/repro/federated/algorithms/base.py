@@ -35,6 +35,29 @@ class FederatedAlgorithm:
         """Compute a benign client's local update ``Δθ`` and training loss."""
         raise NotImplementedError
 
+    def client_benign_state(self, client_id: int) -> np.ndarray | None:
+        """Per-client state that :meth:`benign_update` reads, or ``None``.
+
+        Algorithms whose benign path is a pure function of the global
+        parameters (FedAvg, MetaFed — their per-client state only feeds
+        ``post_aggregate``/``personalized_params``, which run in the driver)
+        return ``None``.  Algorithms like FedDC, whose local training reads
+        mutable per-client state, return that client's state vector so the
+        distributed backend can ship it with the task and a remote worker
+        reproduces the driver's computation bit-for-bit.
+        """
+        return None
+
+    def set_client_benign_state(self, client_id: int, state: np.ndarray) -> None:
+        """Install a shipped per-client state vector (worker side).
+
+        Only called with vectors produced by :meth:`client_benign_state`, so
+        the default (stateless) implementation never runs.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} declares no per-client benign state"
+        )
+
     def post_aggregate(
         self,
         global_params: np.ndarray,

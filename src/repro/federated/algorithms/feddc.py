@@ -54,6 +54,14 @@ class FedDC(FederatedAlgorithm):
             raise RuntimeError("init_state has not been called")
         return self._drift
 
+    def client_benign_state(self, client_id: int) -> np.ndarray:
+        # benign_update reads the client's drift row; shipping it with the
+        # task keeps distributed workers bit-identical to the driver.
+        return self.drift[client_id]
+
+    def set_client_benign_state(self, client_id: int, state: np.ndarray) -> None:
+        self.drift[client_id] = state
+
     def benign_update(
         self,
         client_id: int,

@@ -6,6 +6,12 @@ runs: serially, on threads, on worker processes) and from *instrumentation*
 (typed round hooks).  See :mod:`repro.federated.engine.plan`,
 :mod:`repro.federated.engine.backends` and
 :mod:`repro.federated.engine.hooks`.
+
+The distributed backend (socket-connected worker processes, registered as
+``backend="distributed"``) lives in
+:mod:`repro.federated.engine.distributed` and is deliberately *not*
+re-exported here: its worker side imports the experiment runner, and the
+backend registry loads it lazily on first lookup.
 """
 
 from repro.federated.engine.backends import (

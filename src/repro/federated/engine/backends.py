@@ -95,6 +95,14 @@ class ExecutionBackend:
 
     name = "base"
 
+    # Capability flags, surfaced by ``repro list backends``:
+    #: ``iter_updates`` yields as clients finish (vs a per-round barrier).
+    streaming_updates = False
+    #: Client work runs in other OS processes (own interpreter + memory).
+    process_isolation = False
+    #: Workers may live on other hosts, reached over sockets.
+    distributed = False
+
     def __init__(self) -> None:
         self._ctx: EngineContext | None = None
         self._driver_model = None
@@ -177,6 +185,7 @@ class SerialBackend(ExecutionBackend):
     """Default backend: every client runs in order on one scratch model."""
 
     name = "serial"
+    streaming_updates = True
 
     def _start_benign(self, tasks, global_params):
         ctx = self.ctx
@@ -202,6 +211,7 @@ class ThreadPoolBackend(ExecutionBackend):
     """Fan benign clients out over threads with a pooled set of models."""
 
     name = "thread"
+    streaming_updates = True
 
     def __init__(self, max_workers: int | None = None) -> None:
         super().__init__()
@@ -304,6 +314,8 @@ class ProcessPoolBackend(ExecutionBackend):
     """
 
     name = "process"
+    process_isolation = True  # streaming_updates stays False: per-round fork
+    # makes iter_updates a barrier (see ROADMAP's long-lived-worker item).
 
     def __init__(self, max_workers: int | None = None) -> None:
         super().__init__()

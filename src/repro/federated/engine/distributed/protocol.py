@@ -1,0 +1,205 @@
+"""Wire protocol of the distributed execution subsystem.
+
+Everything crossing a coordinator↔worker socket is a *frame*::
+
+    +-------+---------+------+----------------+---------+
+    | magic | version | type | payload length | payload |
+    |  2 B  |   1 B   | 1 B  |   4 B (BE)     |  ...    |
+    +-------+---------+------+----------------+---------+
+
+and every payload is a *message*: a 4-byte length-prefixed JSON header
+followed by zero or more named float64 vectors, concatenated in the order
+the header's ``_arrays`` list declares them.  Vectors use the canonical
+encoding of :func:`repro.nn.serialization.vector_to_bytes` — raw
+little-endian float64 — so parameter vectors and client updates round-trip
+bit-for-bit, which is what lets ``backend="distributed"`` equal
+``backend="serial"`` per seed.
+
+The message types mirror a round's life cycle: a worker announces itself
+with ``HELLO``; the coordinator installs the execution context with
+``CONFIGURE`` (acknowledged by ``CONFIGURED``), broadcasts the round's
+global parameters with ``ROUND``, and dispatches ``TASK`` frames; the
+worker streams an ``UPDATE`` frame back per task the moment it is computed
+(or ``ERROR`` with a traceback); ``SHUTDOWN`` ends the session.
+
+The module depends only on the standard library plus the vector codec, so
+both sides of the wire — and any future non-Python tooling reading the
+frames — share one small surface.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+import socket
+import struct
+
+import numpy as np
+
+from repro.nn.serialization import vector_from_bytes, vector_to_bytes
+
+#: Bumped on any incompatible change to framing or message layout; both
+#: sides refuse to talk across versions instead of mis-parsing frames.
+PROTOCOL_VERSION = 1
+
+_MAGIC = b"RW"
+_HEADER = struct.Struct(">2sBBI")
+_JSON_LEN = struct.Struct(">I")
+
+#: Upper bound on a single frame's payload (guards against garbage length
+#: prefixes allocating unbounded buffers): 1 GiB ≈ a 134M-parameter update.
+MAX_PAYLOAD = 1 << 30
+
+
+class MessageType(enum.IntEnum):
+    """Frame types, in round-trip order of a typical session."""
+
+    HELLO = 1        # worker → coordinator: {version, pid}
+    CONFIGURE = 2    # coordinator → worker: {fingerprint, scenario}
+    CONFIGURED = 3   # worker → coordinator: {fingerprint}
+    ROUND = 4        # coordinator → worker: {round} + params vector
+    TASK = 5         # coordinator → worker: task fields (+ optional state)
+    UPDATE = 6       # worker → coordinator: {order, client, loss} + update
+    ERROR = 7        # worker → coordinator: {traceback, order?}
+    SHUTDOWN = 8     # coordinator → worker: {}
+
+
+class ProtocolError(RuntimeError):
+    """A frame violated the protocol (bad magic, version, type or layout)."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the socket (mid-frame or between frames)."""
+
+
+# -- message codec ----------------------------------------------------------
+
+
+def encode_message(fields: dict, arrays: dict[str, np.ndarray] | None = None) -> bytes:
+    """Serialise a JSON-able field dict plus named float64 vectors."""
+    arrays = arrays or {}
+    header = dict(fields)
+    if "_arrays" in header:
+        raise ValueError("'_arrays' is reserved for the codec")
+    header["_arrays"] = [[name, int(arrays[name].shape[0])] for name in arrays]
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    chunks = [_JSON_LEN.pack(len(header_bytes)), header_bytes]
+    chunks.extend(vector_to_bytes(arrays[name]) for name in arrays)
+    return b"".join(chunks)
+
+
+def decode_message(payload: bytes) -> tuple[dict, dict[str, np.ndarray]]:
+    """Inverse of :func:`encode_message`."""
+    if len(payload) < _JSON_LEN.size:
+        raise ProtocolError("message payload shorter than its header prefix")
+    (header_len,) = _JSON_LEN.unpack_from(payload)
+    offset = _JSON_LEN.size
+    if len(payload) < offset + header_len:
+        raise ProtocolError("message payload shorter than its declared header")
+    fields = json.loads(payload[offset : offset + header_len].decode("utf-8"))
+    offset += header_len
+    arrays: dict[str, np.ndarray] = {}
+    for name, length in fields.pop("_arrays", []):
+        nbytes = int(length) * 8
+        if offset + nbytes > len(payload):
+            raise ProtocolError(f"array {name!r} truncated in message payload")
+        arrays[name] = vector_from_bytes(payload[offset : offset + nbytes])
+        offset += nbytes
+    if offset != len(payload):
+        raise ProtocolError(f"{len(payload) - offset} trailing bytes in message")
+    return fields, arrays
+
+
+# -- frame I/O --------------------------------------------------------------
+
+
+def recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`ConnectionClosed`."""
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except ConnectionError as exc:
+            # A killed peer surfaces as RST, not EOF; same meaning here.
+            raise ConnectionClosed(f"peer connection lost: {exc}") from exc
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed the connection ({count - remaining}/{count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(
+    sock: socket.socket,
+    msg_type: MessageType,
+    fields: dict,
+    arrays: dict[str, np.ndarray] | None = None,
+) -> None:
+    """Frame and send one message (blocking, atomic via ``sendall``)."""
+    payload = encode_message(fields, arrays)
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD")
+    header = _HEADER.pack(_MAGIC, PROTOCOL_VERSION, int(msg_type), len(payload))
+    sock.sendall(header + payload)
+
+
+def recv_message(
+    sock: socket.socket,
+) -> tuple[MessageType, dict, dict[str, np.ndarray]]:
+    """Receive one frame; raises :class:`ConnectionClosed` on EOF."""
+    magic, version, msg_type, length = _HEADER.unpack(recv_exact(sock, _HEADER.size))
+    if magic != _MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"peer speaks protocol version {version}, this side speaks "
+            f"{PROTOCOL_VERSION}"
+        )
+    if length > MAX_PAYLOAD:
+        raise ProtocolError(f"declared payload of {length} bytes exceeds MAX_PAYLOAD")
+    try:
+        msg = MessageType(msg_type)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown message type {msg_type}") from exc
+    fields, arrays = decode_message(recv_exact(sock, length))
+    return msg, fields, arrays
+
+
+# -- execution-context payloads ---------------------------------------------
+
+#: The scenario fields a worker needs to rebuild the benign execution
+#: context (federation, model factory, algorithm, local-training config).
+#: Deliberately excludes attack/defense/round-count fields so re-running a
+#: scenario with a different defense reuses a standalone worker's cache.
+CONTEXT_FIELDS = (
+    "dataset",
+    "dataset_kwargs",
+    "num_clients",
+    "samples_per_client",
+    "alpha",
+    "num_classes",
+    "image_size",
+    "data_seed",
+    "model",
+    "model_kwargs",
+    "hidden",
+    "algorithm",
+    "algorithm_kwargs",
+    "local",
+    "seed",
+)
+
+
+def context_payload(scenario_dict: dict) -> dict:
+    """Project a scenario dict onto the fields a worker context needs."""
+    return {key: scenario_dict[key] for key in CONTEXT_FIELDS if key in scenario_dict}
+
+
+def context_fingerprint(payload: dict) -> str:
+    """Stable identity of a worker context; the worker's cache key."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

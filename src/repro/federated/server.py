@@ -123,6 +123,7 @@ class FederatedServer:
                 np.stack([c.class_counts for c in dataset.clients])
             )
         self.history = TrainingHistory()
+        self._closed = False
 
         self.backend = backend if isinstance(backend, ExecutionBackend) else make_backend(
             backend or "serial"
@@ -265,6 +266,10 @@ class FederatedServer:
     def run_round(self) -> RoundRecord:
         """Execute a single federated round and return its record."""
         round_idx = len(self.history)
+        # Running another round after close() re-acquires backend resources
+        # (the pool backends recreate their executors lazily), so the next
+        # close() must actually release them again.
+        self._closed = False
         sampled = sample_clients(
             self.dataset.num_clients,
             self.config.sample_rate,
@@ -318,8 +323,24 @@ class FederatedServer:
         )
 
     def close(self) -> None:
-        """Release backend and shard-pool worker resources (idempotent)."""
+        """Release backend and shard-pool worker resources (idempotent).
+
+        Closes the execution backend — including a distributed coordinator's
+        worker processes — and any shard worker pool the aggregator holds.
+        Safe to call repeatedly; the server remains usable for driver-side
+        helpers (``personalized_params``, history access) after closing.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.backend.close()
         closer = getattr(self.aggregator, "close", None)
         if closer is not None:
             closer()
+
+    def __enter__(self) -> "FederatedServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: workers and shard pools never leak."""
+        self.close()

@@ -46,6 +46,29 @@ def parameter_count(model) -> int:
     return int(sum(param.size for _, param in model.named_parameters()))
 
 
+def vector_to_bytes(vector: np.ndarray) -> bytes:
+    """Canonical wire encoding of a flat parameter vector.
+
+    The distributed execution protocol ships parameter vectors and client
+    updates as raw little-endian float64 bytes — the same dtype
+    :func:`flatten_params` produces — so a vector round-trips through
+    :func:`vector_from_bytes` bit-for-bit, which is what keeps remote
+    execution bit-identical to local execution.
+    """
+    arr = np.ascontiguousarray(vector, dtype="<f8")
+    if arr.ndim != 1:
+        raise ValueError(f"expected a flat vector, got shape {arr.shape}")
+    return arr.tobytes()
+
+
+def vector_from_bytes(data: bytes) -> np.ndarray:
+    """Decode :func:`vector_to_bytes` output back into a float64 vector."""
+    if len(data) % 8:
+        raise ValueError(f"vector payload of {len(data)} bytes is not float64-aligned")
+    # Copy: frombuffer views are read-only and pin the message buffer alive.
+    return np.frombuffer(data, dtype="<f8").astype(np.float64)
+
+
 def flatten_grads(model) -> np.ndarray:
     """Concatenate every parameter gradient of ``model`` into one 1-D vector."""
     chunks = [grad.ravel() for _, grad in model.named_gradients()]

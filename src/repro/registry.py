@@ -395,7 +395,10 @@ DEFENSES = Registry(
 
 BACKENDS = Registry(
     "backend",
-    load_from=("repro.federated.engine.backends",),
+    load_from=(
+        "repro.federated.engine.backends",
+        "repro.federated.engine.distributed.coordinator",
+    ),
 )
 
 __all__ = [

@@ -168,3 +168,24 @@ class TestSweep:
         for result, raw in zip(reloaded, payload["results"]):
             assert result.to_dict() == raw
             assert result.summary()["rounds"] == 1.0
+
+
+class TestListBackendCaps:
+    def test_backends_show_capabilities_column(self, capsys):
+        assert main(["list", "backends"]) == 0
+        out = capsys.readouterr().out
+        lines = {line.split()[0]: line for line in out.splitlines() if line.strip()}
+        assert "caps" in lines["backend"]
+        assert "streaming" in lines["serial"] and "processes" not in lines["serial"]
+        assert "streaming" in lines["thread"]
+        # The per-round-forked pool is the documented barrier path.
+        assert "barrier" in lines["process"] and "processes" in lines["process"]
+        assert "streaming" in lines["distributed"]
+        assert "processes" in lines["distributed"]
+        assert "multi-host" in lines["distributed"]
+
+
+class TestWorkerSubcommand:
+    def test_worker_rejects_malformed_listen_address(self, capsys):
+        assert main(["worker", "--listen", "127.0.0.1:notaport"]) == 2
+        assert "host:port" in capsys.readouterr().err

@@ -69,9 +69,17 @@ class TestComponentSpecs:
         assert scenario.backend == "thread"
         assert scenario.backend_workers == 4
 
-    def test_backend_spec_rejects_other_kwargs(self):
-        with pytest.raises(ValueError, match="only accepts max_workers"):
+    def test_backend_spec_rejects_unknown_kwargs(self):
+        # Backend specs may carry constructor kwargs (backend_kwargs) now;
+        # unknown ones are still rejected at scenario construction.
+        with pytest.raises(ValueError, match="does not accept"):
             Scenario(backend="thread:frobnicate=1")
+
+    def test_backend_spec_routes_extra_kwargs_to_backend_kwargs(self):
+        scenario = Scenario(backend="distributed:connect='127.0.0.1:7001'")
+        assert scenario.backend == "distributed"
+        assert scenario.backend_kwargs == {"connect": "127.0.0.1:7001"}
+        assert Scenario.from_dict(scenario.to_dict()) == scenario
 
     def test_local_dict_coerced_to_config(self):
         scenario = Scenario(local={"epochs": 2, "batch_size": 4})

@@ -337,3 +337,72 @@ class TestAggregationContext:
         assert ctx.rng is rng
         assert ctx.round_idx == -1
         assert ctx.sampled_clients == ()
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="process backend requires fork")
+class TestProcessPoolLifecycle:
+    """Pins the ProcessPoolBackend contract the ROADMAP documents but nothing
+    previously tested: idempotent close, barrier iter_updates, and pool
+    teardown when a forked task raises."""
+
+    def test_close_is_idempotent_and_leaves_backend_usable(
+        self, small_federation, image_model_factory
+    ):
+        server = _make_server(small_federation, image_model_factory, "process", rounds=1)
+        server.run()
+        server.backend.close()
+        server.backend.close()  # second close must be a no-op
+        server.run_round()      # per-round fork: still usable after close
+        assert len(server.history) == 2
+
+    def test_iter_updates_is_a_barrier_in_slot_order(
+        self, small_federation, image_model_factory, monkeypatch
+    ):
+        """The per-round fork makes iter_updates a barrier: every task has
+        executed before the first update is yielded, and updates come out in
+        aggregation (slot) order rather than completion order."""
+        from repro.federated.engine import backends as backends_mod
+
+        executed = []
+        real = backends_mod.run_benign_task
+
+        def recording(ctx, task, global_params, model):
+            executed.append(task.order)
+            return real(ctx, task, global_params, model)
+
+        monkeypatch.setattr(backends_mod, "run_benign_task", recording)
+        server = _make_server(small_federation, image_model_factory, "process", rounds=1)
+        plan = build_round_plan(
+            0, range(small_federation.num_clients), set(), seed=2, attack_active=False
+        )
+        updates = server.backend.iter_updates(plan, server.global_params)
+        first = next(updates)
+        # Forked children append to their own copy of `executed`; the barrier
+        # is observable in the parent because execute() returned before the
+        # first yield — the full result list already exists.
+        assert first.slot == 0
+        slots = [first.slot] + [u.slot for u in updates]
+        assert slots == sorted(slots) == list(range(len(plan)))
+        server.close()
+
+    def test_pool_shuts_down_when_a_task_raises(
+        self, small_federation, image_model_factory, monkeypatch
+    ):
+        from repro.federated.engine import backends as backends_mod
+
+        def exploding(ctx, task, global_params, model):
+            raise RuntimeError("boom in forked worker")
+
+        real = backends_mod.run_benign_task
+        # Children fork after the patch, so they inherit the exploding task.
+        monkeypatch.setattr(backends_mod, "run_benign_task", exploding)
+        server = _make_server(small_federation, image_model_factory, "process", rounds=1)
+        with pytest.raises(RuntimeError, match="boom in forked worker"):
+            server.run_round()
+        # The per-round pool context manager tore the fork state down even
+        # though the round failed; the next round forks fresh and succeeds.
+        assert backends_mod._FORK_STATE is None
+        monkeypatch.setattr(backends_mod, "run_benign_task", real)
+        server.run_round()
+        assert len(server.history) == 1
+        server.close()

@@ -110,3 +110,54 @@ class TestFederatedServer:
     def test_initial_params_match_model_factory(self, small_federation, image_model_factory):
         server = _make_server(small_federation, image_model_factory)
         np.testing.assert_allclose(server.global_params, flatten_params(image_model_factory()))
+
+
+class TestServerLifecycle:
+    """FederatedServer is a context manager; close() is idempotent."""
+
+    def test_context_manager_closes_backend(self, small_federation, image_model_factory):
+        from repro.federated.engine import ThreadPoolBackend
+
+        backend = ThreadPoolBackend(max_workers=2)
+        config = ServerConfig(
+            rounds=1, sample_rate=0.5, seed=2,
+            local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
+        )
+        with FederatedServer(
+            small_federation, image_model_factory, FedAvg(), config, backend=backend
+        ) as server:
+            server.run()
+            assert backend._executor is not None
+        assert backend._executor is None  # __exit__ released the pool
+
+    def test_close_is_idempotent_but_rearms_after_new_rounds(
+        self, small_federation, image_model_factory
+    ):
+        closes = []
+
+        class ClosingAggregator(MeanAggregator):
+            def close(self):
+                closes.append(True)
+
+        config = ServerConfig(
+            rounds=1, sample_rate=0.5, seed=2,
+            local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
+        )
+        server = FederatedServer(
+            small_federation, image_model_factory, FedAvg(), config,
+            aggregator=ClosingAggregator(),
+        )
+        server.run()
+        server.close()
+        server.close()  # idempotent: second close releases nothing twice
+        assert closes == [True]
+        server.run_round()  # more work re-acquires resources ...
+        server.close()      # ... so close must actually run again
+        assert closes == [True, True]
+
+    def test_context_manager_closes_on_exception(self, small_federation, image_model_factory):
+        server = _make_server(small_federation, image_model_factory, rounds=1)
+        with pytest.raises(RuntimeError, match="sentinel"):
+            with server:
+                raise RuntimeError("sentinel")
+        assert server._closed

@@ -62,3 +62,69 @@ class TestMain:
         report.write_text(json.dumps({"benchmarks": []}))
         assert main([str(report), "--pr", "4"]) == 2
         assert "no benchmarks" in capsys.readouterr().err
+
+
+class TestCompare:
+    def _baseline(self):
+        return {
+            "pr": 4,
+            "cpu_count": 4,
+            "records": [
+                {"op": "test_alpha", "median": 1.0, "param_dim": 100},
+                {"op": "test_gone", "median": 0.5, "param_dim": None},
+            ],
+        }
+
+    def _fresh_report(self, alpha_median):
+        return {
+            "machine_info": {},
+            "benchmarks": [
+                {"name": "test_alpha", "stats": {"median": alpha_median}, "extra_info": {}},
+                {"name": "test_new", "stats": {"median": 2.0}, "extra_info": {}},
+            ],
+        }
+
+    def test_compare_rows_and_regressions(self):
+        from benchmarks.record import compare, distill
+
+        rows, regressions = compare(
+            distill(self._fresh_report(1.5)), self._baseline()["records"], 0.25
+        )
+        by_op = {row["op"]: row for row in rows}
+        assert by_op["test_alpha"]["delta"] == "+50.0%"
+        assert by_op["test_new"]["delta"] == "new"
+        assert by_op["test_gone"]["delta"] == "removed"
+        assert regressions == ["test_alpha: +50.0% vs baseline"]
+
+    def test_within_threshold_is_not_a_regression(self):
+        from benchmarks.record import compare, distill
+
+        _rows, regressions = compare(
+            distill(self._fresh_report(1.2)), self._baseline()["records"], 0.25
+        )
+        assert regressions == []
+
+    def test_compare_mode_warns_but_exits_zero(self, tmp_path, capsys):
+        from benchmarks.record import main
+
+        report = tmp_path / "raw.json"
+        report.write_text(json.dumps(self._fresh_report(2.0)))
+        baseline = tmp_path / "BENCH_4.json"
+        baseline.write_text(json.dumps(self._baseline()))
+        assert main(["compare", str(report), "--against", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: perf regression test_alpha" in out
+        assert "removed" in out and "new" in out
+
+    def test_compare_against_latest_committed(self, tmp_path, capsys, monkeypatch):
+        from benchmarks import record
+        from benchmarks.record import main
+
+        report = tmp_path / "raw.json"
+        report.write_text(json.dumps(self._fresh_report(1.0)))
+        (tmp_path / "BENCH_3.json").write_text(json.dumps({"records": [], "cpu_count": 1}))
+        (tmp_path / "BENCH_11.json").write_text(json.dumps(self._baseline()))
+        found = record.latest_committed_record(tmp_path)
+        assert found[0] == 11
+        assert main(["compare", str(report), "--against", str(tmp_path / "BENCH_11.json")]) == 0
+        assert "No regressions" in capsys.readouterr().out
