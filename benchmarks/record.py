@@ -124,6 +124,9 @@ def main_compare(argv: list[str]) -> int:
     fresh = distill(json.loads(args.report.read_text()))
     if args.against is not None:
         label = str(args.against)
+        if not args.against.exists():
+            print(f"baseline {label} does not exist; nothing to compare, skipping")
+            return 0
         baseline = json.loads(args.against.read_text())
     else:
         found = latest_committed_record(Path(__file__).resolve().parent.parent)
@@ -133,7 +136,12 @@ def main_compare(argv: list[str]) -> int:
         label = f"BENCH_{found[0]}.json"
         baseline = found[1]
 
-    rows, regressions = compare(fresh, baseline.get("records", []), args.threshold)
+    baseline_records = baseline.get("records") or []
+    if not baseline_records:
+        print(f"baseline {label} records no benchmarks; nothing to compare, skipping")
+        return 0
+
+    rows, regressions = compare(fresh, baseline_records, args.threshold)
     print(f"Benchmark deltas vs {label} "
           f"(baseline cpu_count={baseline.get('cpu_count')}):")
     print(_format_rows(rows))

@@ -1,0 +1,112 @@
+"""Round-throughput benches for the cross-client batched backend.
+
+Serial vs. ``backend="batched"`` wall clock on full-participation
+federations at the reduced Fig-8 model sizes — the Sentiment text head
+(the figure's headline setting, where stacking pays most: the model is all
+small GEMMs) and the FEMNIST MLP.  The bit-identical-history guarantee is
+asserted on the side in both benches, so a regression in the batched math
+can never hide behind a fast wall clock.
+
+The paper-facing target is 3x serial round throughput; on a single-core
+host the stacked path cannot amortise BLAS across cores (every per-client
+GEMM slice still runs serially, by design — that is what buys bit-identity)
+and the gain comes purely from eliminated Python dispatch and allocations,
+so the asserted floor drops to 1.5x there.  Timings and the target are
+always recorded in ``extra_info`` (and hence in ``BENCH_<pr>.json``); the
+assertions only run off-CI, per the repo's perf-bench convention.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments.results import format_table
+from repro.experiments.runner import build_dataset, run_experiment
+from repro.experiments.scenario import Scenario
+from repro.federated.client import LocalTrainingConfig
+
+#: Paper-facing round-throughput target at Fig-8 model sizes (multi-core);
+#: the single-core floor is what a 1-CPU container can honestly deliver.
+TARGET_SPEEDUP = 3.0
+SINGLE_CORE_FLOOR = 1.5
+
+
+def _fig8_scenario(dataset: str) -> Scenario:
+    """Full-participation clean run at the Fig-8 bench scale."""
+    return Scenario(
+        dataset=dataset,
+        num_clients=24,
+        samples_per_client=36,
+        num_classes=6,
+        image_size=16,
+        alpha=0.2,
+        hidden=(64,),
+        rounds=8,
+        sample_rate=1.0,
+        attack="none",
+        local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
+        max_test_samples=None,
+        seed=7,
+    )
+
+
+def _sweep(scenario: Scenario, repeats: int = 3) -> tuple[list[dict], float]:
+    rows = []
+    histories = {}
+    data = build_dataset(scenario)  # shared, outside the timed region
+    for backend in ("serial", "batched"):
+        cell = scenario.with_overrides(backend=backend)
+        best = None
+        for _ in range(repeats):  # best-of-N: single runs are too jittery
+            start = time.perf_counter()
+            result = run_experiment(cell, prebuilt_data=data)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        histories[backend] = result.history
+        rows.append(
+            {
+                "backend": backend,
+                "seconds": round(best, 3),
+                "ms_per_round": round(best * 1000 / scenario.rounds, 2),
+            }
+        )
+    assert histories["batched"].series("update_norm") == histories["serial"].series(
+        "update_norm"
+    ), "batched backend diverged from serial"
+    speedup = rows[0]["seconds"] / rows[1]["seconds"]
+    for row in rows:
+        row["speedup_vs_serial"] = round(rows[0]["seconds"] / row["seconds"], 2)
+    return rows, speedup
+
+
+def _record(benchmark, rows, speedup, label):
+    benchmark.extra_info["cpu_count"] = os.cpu_count()
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["target_speedup"] = TARGET_SPEEDUP
+    benchmark.extra_info["single_core_floor"] = SINGLE_CORE_FLOOR
+    print(f"\nBatched-execution wall clock — {label}, 24 clients/round, 8 rounds")
+    print(format_table(rows))
+
+
+def test_batched_throughput_fig8_sentiment(benchmark):
+    """The asserted case: Fig 8's Sentiment text head (all small GEMMs)."""
+    rows, speedup = run_once(benchmark, _sweep, _fig8_scenario("sentiment"))
+    _record(benchmark, rows, speedup, "sentiment text head")
+    if not os.environ.get("CI"):
+        floor = SINGLE_CORE_FLOOR if (os.cpu_count() or 1) == 1 else TARGET_SPEEDUP
+        assert speedup >= floor, (
+            f"batched backend should deliver >= {floor}x serial round "
+            f"throughput at the Fig-8 sentiment setting, got {speedup:.2f}x: {rows}"
+        )
+
+
+def test_batched_throughput_fig8_femnist(benchmark):
+    """Recorded (not asserted): the FEMNIST MLP carries bigger GEMMs per
+    client, so dispatch overhead is a smaller share and the gain is milder."""
+    rows, speedup = run_once(benchmark, _sweep, _fig8_scenario("femnist"))
+    _record(benchmark, rows, speedup, "femnist mlp(64)")
+    if not os.environ.get("CI"):
+        assert speedup >= 1.0, f"batched should never be slower than serial: {rows}"

@@ -106,6 +106,8 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 caps.append("processes")
             if getattr(component, "distributed", False):
                 caps.append("multi-host")
+            if getattr(component, "batched_execution", False):
+                caps.append("batched")
             row["caps"] = ", ".join(caps)
         rows.append(row)
     print(format_table(rows))

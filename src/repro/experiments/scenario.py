@@ -200,9 +200,9 @@ class Scenario:
             raise ValueError("alpha must be positive")
         if self.backend_workers is not None and self.backend_workers <= 0:
             raise ValueError("backend_workers must be positive")
-        if self.backend_workers is not None and self.backend == "serial":
+        if self.backend_workers is not None and self.backend in ("serial", "batched"):
             raise ValueError(
-                "backend_workers requires a parallel backend "
+                "backend_workers requires a worker-pool backend "
                 "('thread', 'process' or 'distributed')"
             )
         if not isinstance(self.backend_kwargs, dict):

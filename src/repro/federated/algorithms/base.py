@@ -35,6 +35,22 @@ class FederatedAlgorithm:
         """Compute a benign client's local update ``Δθ`` and training loss."""
         raise NotImplementedError
 
+    def benign_batch_spec(
+        self, client_id: int, config: LocalTrainingConfig
+    ) -> tuple[LocalTrainingConfig, np.ndarray | None] | None:
+        """Describe how this client's benign update maps onto batched training.
+
+        The batched execution path (:mod:`repro.federated.engine.batched`)
+        replaces per-client :meth:`benign_update` calls with one stacked
+        :func:`~repro.federated.client.local_train_batched` call.  That is
+        only valid when the algorithm's benign path *is* ``local_train`` —
+        algorithms whose benign path does something else return ``None``
+        (the default) and the runner falls back to per-client execution.
+        Otherwise the return value is the ``(local_config, drift)`` pair
+        :meth:`benign_update` would hand to ``local_train`` for this client.
+        """
+        return None
+
     def client_benign_state(self, client_id: int) -> np.ndarray | None:
         """Per-client state that :meth:`benign_update` reads, or ``None``.
 

@@ -31,6 +31,12 @@ class FedAvg(FederatedAlgorithm):
     ) -> tuple[np.ndarray, float]:
         return local_train(model, global_params, data, config, rng)
 
+    def benign_batch_spec(
+        self, client_id: int, config: LocalTrainingConfig
+    ) -> tuple[LocalTrainingConfig, np.ndarray | None]:
+        # The benign path is plain local_train on the shared config.
+        return config, None
+
     def personalized_params(
         self,
         client_id: int,

@@ -85,6 +85,21 @@ class FedDC(FederatedAlgorithm):
         )
         return update, loss
 
+    def benign_batch_spec(
+        self, client_id: int, config: LocalTrainingConfig
+    ) -> tuple[LocalTrainingConfig, np.ndarray]:
+        # Mirrors benign_update: same effective config (the algorithm's
+        # proximal_mu wins) and the client's current drift row.
+        local_config = LocalTrainingConfig(
+            epochs=config.epochs,
+            batch_size=config.batch_size,
+            lr=config.lr,
+            momentum=config.momentum,
+            weight_decay=config.weight_decay,
+            proximal_mu=self.proximal_mu,
+        )
+        return local_config, self.drift[client_id]
+
     def post_aggregate(
         self,
         global_params: np.ndarray,

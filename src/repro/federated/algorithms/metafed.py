@@ -79,6 +79,13 @@ class MetaFed(FederatedAlgorithm):
         # settings this prunes most of them, weakening knowledge transfer.
         return top[self._label_similarity[client_id, top] >= self.similarity_threshold]
 
+    def benign_batch_spec(
+        self, client_id: int, config: LocalTrainingConfig
+    ) -> tuple[LocalTrainingConfig, None]:
+        # The benign path is plain local_train (distillation happens in the
+        # driver-side personalisation step, not during the round).
+        return config, None
+
     def benign_update(
         self,
         client_id: int,

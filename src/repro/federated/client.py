@@ -18,13 +18,14 @@ built by the experiment runner is dropout-free by default.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.data.dataset import Dataset
-from repro.nn.losses import SoftmaxCrossEntropy
-from repro.nn.optim import SGD
+from repro.nn.losses import BatchedSoftmaxCrossEntropy, SoftmaxCrossEntropy
+from repro.nn.optim import SGD, BatchedSGD
 from repro.nn.serialization import flatten_params, unflatten_params
 
 
@@ -113,6 +114,149 @@ def local_train(
     local_params = flatten_params(model)
     mean_loss = float(np.mean(last_epoch_losses)) if last_epoch_losses else 0.0
     return local_params - global_params, mean_loss
+
+
+def _plan_step_runs(
+    sizes: Sequence[int], batch_size: int
+) -> list[tuple[int, list[tuple[int, int, int]]]]:
+    """Partition size-sorted clients into per-step runs of equal batch size.
+
+    ``sizes`` must be non-increasing.  For every mini-batch step ``t`` (batch
+    rows ``[t*bs, t*bs + bs)`` of each client's shuffled epoch), the clients
+    still holding data at that offset form a prefix of the stack, and clients
+    sharing the same (possibly partial, end-of-dataset) batch size form
+    contiguous runs within it.  Returns ``[(start, [(a, b, size), ...]), ...]``
+    — one entry per step, each run covering client rows ``[a, b)`` training
+    on ``size`` samples.
+    """
+    runs_per_step = []
+    max_n = sizes[0]
+    for start in range(0, max_n, batch_size):
+        runs = []
+        a = 0
+        while a < len(sizes) and sizes[a] > start:
+            size_a = min(batch_size, sizes[a] - start)
+            b = a + 1
+            while b < len(sizes) and min(batch_size, max(sizes[b] - start, 0)) == size_a:
+                b += 1
+            runs.append((a, b, size_a))
+            a = b
+        runs_per_step.append((start, runs))
+    return runs_per_step
+
+
+def local_train_batched(
+    model,
+    global_params: np.ndarray,
+    datasets: Sequence[Dataset],
+    config: LocalTrainingConfig,
+    rngs: Sequence[np.random.Generator],
+    drift_corrections: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run :func:`local_train` for many clients as one stacked computation.
+
+    ``model`` is a :class:`~repro.nn.model.BatchedSequential` sized for
+    ``len(datasets)`` clients; datasets must be non-empty and ordered by
+    non-increasing size (the batched runner sorts its groups so this holds),
+    and every client trains under the same ``config``.  Clients of *different*
+    sizes batch together: each mini-batch step runs over the contiguous runs
+    of clients sharing a batch size at that offset (see
+    :func:`_plan_step_runs`), through sliced views of the stacked parameter
+    planes — clients that exhaust their data simply drop out of later steps,
+    exactly as their serial loop would have ended.
+
+    Per-client randomness comes from ``rngs`` — each generator is consumed
+    exactly as the serial path consumes it (one permutation per epoch), so
+    the returned rows are *bitwise* equal to the serial per-client results:
+
+    * forward/backward matmuls run one BLAS GEMM per client slice with the
+      serial shapes and strides (see :mod:`repro.nn.layers`);
+    * bias/weight-gradient reductions and per-client loss means reduce the
+      same contiguous memory the serial reductions do;
+    * the SGD step, proximal term and ``Δθ`` subtraction are elementwise and
+      touch only the rows of clients that trained on the step.
+
+    Returns
+    -------
+    (updates, losses):
+        ``updates`` is ``(clients, dim)`` — row ``c`` is client ``c``'s
+        ``Δθ`` — and ``losses`` the per-client mean final-epoch loss.
+    """
+    clients = model.num_clients
+    if len(datasets) != clients or len(rngs) != clients:
+        raise ValueError(
+            f"batched model is sized for {clients} clients, got "
+            f"{len(datasets)} datasets and {len(rngs)} rng streams"
+        )
+    if drift_corrections is not None and drift_corrections.shape[0] != clients:
+        raise ValueError("drift_corrections must carry one row per client")
+    sizes = [len(data) for data in datasets]
+    if any(n == 0 for n in sizes):
+        raise ValueError("batched clients must have non-empty datasets")
+    if any(sizes[i] < sizes[i + 1] for i in range(clients - 1)):
+        raise ValueError("datasets must be ordered by non-increasing size")
+    model.load_global(global_params)
+    optimiser = BatchedSGD(model, lr=config.lr, momentum=config.momentum,
+                           weight_decay=config.weight_decay)
+    criterion = BatchedSoftmaxCrossEntropy()
+    anchor_planes = None
+    if config.proximal_mu > 0.0:
+        if drift_corrections is None:
+            anchors = np.broadcast_to(global_params, (clients, global_params.shape[0]))
+        else:
+            anchors = global_params[None, :] - drift_corrections
+        anchor_planes = []
+        offset = 0
+        for name, plane in model.named_parameters():
+            size = plane[0].size
+            anchor_planes.append(
+                (name, anchors[:, offset : offset + size].reshape(plane.shape))
+            )
+            offset += size
+    max_n = sizes[0]
+    step_runs = _plan_step_runs(sizes, config.batch_size)
+    # One shuffled-epoch gather buffer: row ``c`` holds client ``c``'s
+    # permuted samples (padded rows stay untouched past ``sizes[c]``).  Step
+    # slices of it are views, so the per-step stacking cost of the naive
+    # approach — one fancy-index copy per client per step — disappears; the
+    # same bytes are gathered once per epoch, matching the serial path's
+    # total copy volume.
+    x_epoch = np.empty((clients, max_n) + datasets[0].x.shape[1:], dtype=datasets[0].x.dtype)
+    y_epoch = np.empty((clients, max_n), dtype=datasets[0].y.dtype)
+    last_epoch_losses: list[list[float]] = [[] for _ in range(clients)]
+    for _epoch in range(config.epochs):
+        for c, data in enumerate(datasets):
+            order = rngs[c].permutation(sizes[c])
+            x_epoch[c, : sizes[c]] = data.x[order]
+            y_epoch[c, : sizes[c]] = data.y[order]
+        epoch_losses: list[list[float]] = [[] for _ in range(clients)]
+        for start, runs in step_runs:
+            for a, b, size in runs:
+                sub = model.view(a, b)
+                logits = sub.forward(x_epoch[a:b, start : start + size], training=True)
+                step_losses = criterion.forward(logits, y_epoch[a:b, start : start + size])
+                grad = criterion.backward()
+                sub.backward(grad)
+                if anchor_planes is not None:
+                    grads = dict(sub.named_gradients())
+                    params = dict(sub.named_parameters())
+                    for name, anchor_plane in anchor_planes:
+                        grads[name] += config.proximal_mu * (
+                            params[name] - anchor_plane[a:b]
+                        )
+                optimiser.step_slice(a, b)
+                for i in range(b - a):
+                    epoch_losses[a + i].append(float(step_losses[i]))
+        last_epoch_losses = epoch_losses
+    updates = model.flatten_per_client()
+    updates -= global_params[None, :]
+    # Per-client mean over a list of python floats — the exact reduction the
+    # serial path's ``float(np.mean(last_epoch_losses))`` performs.
+    mean_losses = np.array(
+        [float(np.mean(losses)) for losses in last_epoch_losses],
+        dtype=np.float64,
+    )
+    return updates, mean_losses
 
 
 def _add_proximal_gradient(model, anchor: np.ndarray, mu: float) -> None:

@@ -25,6 +25,10 @@ from repro.federated.engine.backends import (
     run_benign_task,
     run_malicious_task,
 )
+from repro.federated.engine.batched import (
+    BatchedBackend,
+    BatchedClientRunner,
+)
 from repro.federated.engine.hooks import (
     CallbackHook,
     EvaluationHook,
@@ -50,6 +54,8 @@ __all__ = [
     "plan_shards",
     "EngineContext",
     "ExecutionBackend",
+    "BatchedBackend",
+    "BatchedClientRunner",
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",

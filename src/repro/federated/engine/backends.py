@@ -102,6 +102,8 @@ class ExecutionBackend:
     process_isolation = False
     #: Workers may live on other hosts, reached over sockets.
     distributed = False
+    #: Benign clients train as one stacked model (cross-client GEMM batching).
+    batched_execution = False
 
     def __init__(self) -> None:
         self._ctx: EngineContext | None = None
@@ -182,12 +184,42 @@ class ExecutionBackend:
 
 @BACKENDS.register("serial")
 class SerialBackend(ExecutionBackend):
-    """Default backend: every client runs in order on one scratch model."""
+    """Default backend: every client runs in order on one scratch model.
+
+    ``batch_clients`` (optional) routes benign tasks through the cross-client
+    batched runner (:mod:`repro.federated.engine.batched`) in groups of at
+    most that many clients — a middle ground between fully serial execution
+    and the dedicated ``batched`` backend, with the same bit-identity
+    guarantee.  ``batch_clients=1`` (or ``None``) keeps the plain path.
+    """
 
     name = "serial"
     streaming_updates = True
 
+    def __init__(self, batch_clients: int | None = None) -> None:
+        super().__init__()
+        if batch_clients is not None and batch_clients <= 0:
+            raise ValueError("batch_clients must be positive")
+        self.batch_clients = batch_clients
+        self._batched_runner = None
+
+    def bind(self, ctx: EngineContext) -> None:
+        super().bind(ctx)
+        self._batched_runner = None
+
+    def _get_batched_runner(self):
+        if self._batched_runner is None:
+            # Imported lazily: batched.py imports this module.
+            from repro.federated.engine.batched import BatchedClientRunner
+
+            self._batched_runner = BatchedClientRunner(
+                self.ctx, max_group=self.batch_clients
+            )
+        return self._batched_runner
+
     def _start_benign(self, tasks, global_params):
+        if self.batch_clients is not None and self.batch_clients > 1:
+            return self._get_batched_runner().run(tasks, global_params)
         ctx = self.ctx
         model = self._get_driver_model()
         # Lazy on purpose: benign work runs while execute() drains the
@@ -202,6 +234,10 @@ class SerialBackend(ExecutionBackend):
         model = self._get_driver_model()
         for task in plan.malicious_tasks:
             yield self.make_update(run_malicious_task(ctx, task, global_params, model))
+        if self.batch_clients is not None and self.batch_clients > 1:
+            for result in self._get_batched_runner().run(plan.benign_tasks, global_params):
+                yield self.make_update(result)
+            return
         for task in plan.benign_tasks:
             yield self.make_update(run_benign_task(ctx, task, global_params, model))
 

@@ -53,6 +53,7 @@ from repro.federated.engine.distributed.protocol import (
     send_message,
 )
 from repro.federated.engine.plan import ClientResult, ClientTask, RoundPlan
+from repro.nn import serialization
 from repro.registry import BACKENDS
 
 #: Outstanding tasks per worker.  1 would be pure work-stealing but leaves a
@@ -107,6 +108,7 @@ class DistributedBackend(ExecutionBackend):
         max_workers: int | None = None,
         connect: str | list[str] | None = None,
         spawn_timeout: float = 60.0,
+        wire_dtype: str = "float64",
     ) -> None:
         super().__init__()
         if max_workers is not None and max_workers <= 0:
@@ -114,6 +116,11 @@ class DistributedBackend(ExecutionBackend):
         self.max_workers = max_workers or max(1, min(4, os.cpu_count() or 1))
         self.connect = _parse_addresses(connect)
         self.spawn_timeout = spawn_timeout
+        # Validate at construction so a typo fails before workers spawn.
+        serialization.wire_dtype(wire_dtype)
+        #: Wire encoding of every parameter/update vector this backend ships
+        #: ("float64" = bit-exact default, "float32" = lossy, half traffic).
+        self.wire_dtype = wire_dtype
         self._links: list[_WorkerLink] = []
         self._started = False
         self._scenario_payload: dict | None = None
@@ -234,10 +241,17 @@ class DistributedBackend(ExecutionBackend):
         ]
         for link in stale:
             try:
+                # ``wire_dtype`` rides next to the context but stays out of
+                # the fingerprint: the rebuilt context is dtype-independent,
+                # so switching encodings must not invalidate worker caches.
                 send_message(
                     link.sock,
                     MessageType.CONFIGURE,
-                    {"fingerprint": self._fingerprint, "scenario": self._scenario_payload},
+                    {
+                        "fingerprint": self._fingerprint,
+                        "scenario": self._scenario_payload,
+                        "wire_dtype": self.wire_dtype,
+                    },
                 )
             except OSError:
                 link.close()
@@ -295,6 +309,7 @@ class DistributedBackend(ExecutionBackend):
                         MessageType.ROUND,
                         {"round": plan.round_idx},
                         {"params": global_params},
+                        dtype=self.wire_dtype,
                     )
                 except OSError:
                     self._bury(link, pending, None)
@@ -361,7 +376,8 @@ class DistributedBackend(ExecutionBackend):
             state = self.ctx.algorithm.client_benign_state(task.client_id)
             arrays = {"state": state} if state is not None else None
             try:
-                send_message(link.sock, MessageType.TASK, fields, arrays)
+                send_message(link.sock, MessageType.TASK, fields, arrays,
+                             dtype=self.wire_dtype)
             except OSError:
                 pending.appendleft(task)
                 return False

@@ -8,12 +8,14 @@ Everything crossing a coordinator↔worker socket is a *frame*::
     +-------+---------+------+----------------+---------+
 
 and every payload is a *message*: a 4-byte length-prefixed JSON header
-followed by zero or more named float64 vectors, concatenated in the order
-the header's ``_arrays`` list declares them.  Vectors use the canonical
-encoding of :func:`repro.nn.serialization.vector_to_bytes` — raw
-little-endian float64 — so parameter vectors and client updates round-trip
-bit-for-bit, which is what lets ``backend="distributed"`` equal
-``backend="serial"`` per seed.
+followed by zero or more named float vectors, concatenated in the order the
+header's ``_arrays`` list declares them.  Vectors use the canonical encoding
+of :func:`repro.nn.serialization.vector_to_bytes`; the header's ``_dtype``
+field names the wire dtype of every vector in the message.  The default —
+raw little-endian float64 — round-trips bit-for-bit, which is what lets
+``backend="distributed"`` equal ``backend="serial"`` per seed; ``float32``
+is a lossy opt-in that halves wire traffic (see
+:data:`repro.nn.serialization.WIRE_DTYPES`).
 
 The message types mirror a round's life cycle: a worker announces itself
 with ``HELLO``; the coordinator installs the execution context with
@@ -37,11 +39,12 @@ import struct
 
 import numpy as np
 
-from repro.nn.serialization import vector_from_bytes, vector_to_bytes
+from repro.nn.serialization import vector_from_bytes, vector_to_bytes, wire_dtype
 
 #: Bumped on any incompatible change to framing or message layout; both
 #: sides refuse to talk across versions instead of mis-parsing frames.
-PROTOCOL_VERSION = 1
+#: Version 2 added the ``_dtype`` header field (fp32 wire format).
+PROTOCOL_VERSION = 2
 
 _MAGIC = b"RW"
 _HEADER = struct.Struct(">2sBBI")
@@ -76,35 +79,60 @@ class ConnectionClosed(ProtocolError):
 # -- message codec ----------------------------------------------------------
 
 
-def encode_message(fields: dict, arrays: dict[str, np.ndarray] | None = None) -> bytes:
-    """Serialise a JSON-able field dict plus named float64 vectors."""
+def encode_message(
+    fields: dict,
+    arrays: dict[str, np.ndarray] | None = None,
+    dtype: str = "float64",
+) -> bytes:
+    """Serialise a JSON-able field dict plus named float vectors.
+
+    ``dtype`` picks the wire encoding of every vector in the message (see
+    :data:`repro.nn.serialization.WIRE_DTYPES`); it is recorded in the
+    header's reserved ``_dtype`` field whenever arrays are present, so the
+    decoder never guesses element sizes.
+    """
     arrays = arrays or {}
     header = dict(fields)
-    if "_arrays" in header:
-        raise ValueError("'_arrays' is reserved for the codec")
+    for reserved in ("_arrays", "_dtype"):
+        if reserved in header:
+            raise ValueError(f"{reserved!r} is reserved for the codec")
+    wire_dtype(dtype)  # fail fast on unknown tags, before any bytes move
     header["_arrays"] = [[name, int(arrays[name].shape[0])] for name in arrays]
+    if arrays:
+        header["_dtype"] = dtype
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     chunks = [_JSON_LEN.pack(len(header_bytes)), header_bytes]
-    chunks.extend(vector_to_bytes(arrays[name]) for name in arrays)
+    chunks.extend(vector_to_bytes(arrays[name], dtype=dtype) for name in arrays)
     return b"".join(chunks)
 
 
 def decode_message(payload: bytes) -> tuple[dict, dict[str, np.ndarray]]:
-    """Inverse of :func:`encode_message`."""
+    """Inverse of :func:`encode_message`.
+
+    Array payload slices are zero-copy ``memoryview``s into ``payload``;
+    the one copy per vector happens inside :func:`vector_from_bytes` when it
+    converts to a writable float64 array.
+    """
     if len(payload) < _JSON_LEN.size:
         raise ProtocolError("message payload shorter than its header prefix")
     (header_len,) = _JSON_LEN.unpack_from(payload)
     offset = _JSON_LEN.size
     if len(payload) < offset + header_len:
         raise ProtocolError("message payload shorter than its declared header")
-    fields = json.loads(payload[offset : offset + header_len].decode("utf-8"))
+    view = memoryview(payload)
+    fields = json.loads(bytes(view[offset : offset + header_len]).decode("utf-8"))
     offset += header_len
+    dtype = fields.pop("_dtype", "float64")
+    try:
+        itemsize = wire_dtype(dtype).itemsize
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
     arrays: dict[str, np.ndarray] = {}
     for name, length in fields.pop("_arrays", []):
-        nbytes = int(length) * 8
+        nbytes = int(length) * itemsize
         if offset + nbytes > len(payload):
             raise ProtocolError(f"array {name!r} truncated in message payload")
-        arrays[name] = vector_from_bytes(payload[offset : offset + nbytes])
+        arrays[name] = vector_from_bytes(view[offset : offset + nbytes], dtype=dtype)
         offset += nbytes
     if offset != len(payload):
         raise ProtocolError(f"{len(payload) - offset} trailing bytes in message")
@@ -138,9 +166,10 @@ def send_message(
     msg_type: MessageType,
     fields: dict,
     arrays: dict[str, np.ndarray] | None = None,
+    dtype: str = "float64",
 ) -> None:
     """Frame and send one message (blocking, atomic via ``sendall``)."""
-    payload = encode_message(fields, arrays)
+    payload = encode_message(fields, arrays, dtype=dtype)
     if len(payload) > MAX_PAYLOAD:
         raise ProtocolError(f"payload of {len(payload)} bytes exceeds MAX_PAYLOAD")
     header = _HEADER.pack(_MAGIC, PROTOCOL_VERSION, int(msg_type), len(payload))

@@ -53,6 +53,7 @@ from repro.federated.engine.distributed.protocol import (
     send_message,
 )
 from repro.federated.engine.plan import ClientTask
+from repro.nn import serialization
 from repro.nn.serialization import flatten_params
 
 #: Built contexts a worker keeps warm; small because each holds a federation.
@@ -173,6 +174,7 @@ class WorkerServer:
         )
         active: _WorkerContext | None = None
         global_params: np.ndarray | None = None
+        wire_dtype = "float64"
         while True:
             try:
                 msg, fields, arrays = recv_message(conn)
@@ -182,19 +184,24 @@ class WorkerServer:
                 return
             if msg is MessageType.CONFIGURE:
                 try:
+                    # Mirror the coordinator's encoding on our UPDATE sends;
+                    # an unknown tag is reported as ERROR, not a worker death.
+                    requested = fields.get("wire_dtype", "float64")
+                    serialization.wire_dtype(requested)
                     active = self._context_for(fields["fingerprint"], fields["scenario"])
                 except Exception:
                     send_message(
                         conn, MessageType.ERROR, {"traceback": traceback.format_exc()}
                     )
                     continue
+                wire_dtype = requested
                 send_message(
                     conn, MessageType.CONFIGURED, {"fingerprint": active.fingerprint}
                 )
             elif msg is MessageType.ROUND:
                 global_params = arrays["params"]
             elif msg is MessageType.TASK:
-                self._run_task(conn, active, global_params, fields, arrays)
+                self._run_task(conn, active, global_params, fields, arrays, wire_dtype)
             else:
                 send_message(
                     conn,
@@ -209,6 +216,7 @@ class WorkerServer:
         global_params: np.ndarray | None,
         fields: dict,
         arrays: dict[str, np.ndarray],
+        wire_dtype: str = "float64",
     ) -> None:
         order = fields.get("order")
         try:
@@ -243,6 +251,7 @@ class WorkerServer:
             MessageType.UPDATE,
             {"order": task.order, "client": task.client_id, "loss": result.loss},
             {"update": result.update},
+            dtype=wire_dtype,
         )
 
 

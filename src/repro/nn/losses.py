@@ -49,6 +49,56 @@ class SoftmaxCrossEntropy:
         return self.forward(logits, targets)
 
 
+class BatchedSoftmaxCrossEntropy:
+    """Client-stacked softmax cross-entropy over ``(clients, batch, classes)``.
+
+    ``forward`` returns a ``(clients,)`` loss vector; each entry is bitwise
+    equal to what :class:`SoftmaxCrossEntropy` computes for that client's
+    ``(batch, classes)`` slice alone — the softmax reductions run over the
+    (contiguous) last axis, and the per-client mean reduces a contiguous row,
+    both of which NumPy evaluates exactly as in the 2-D case.
+    """
+
+    def __init__(self) -> None:
+        self._probs: np.ndarray | None = None
+        self._targets: np.ndarray | None = None
+        # (clients, batch) -> broadcastable arange pair, cached because the
+        # ragged step scheduler revisits the same handful of shapes per epoch
+        # and index construction showed up in round profiles.
+        self._index_cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+    def _indices(self, clients: int, batch: int) -> tuple[np.ndarray, np.ndarray]:
+        cached = self._index_cache.get((clients, batch))
+        if cached is None:
+            cached = (np.arange(clients)[:, None], np.arange(batch)[None, :])
+            self._index_cache[(clients, batch)] = cached
+        return cached
+
+    def forward(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        if logits.ndim != 3:
+            raise ValueError("logits must be (clients, batch, num_classes)")
+        if targets.shape != logits.shape[:2]:
+            raise ValueError("targets must be (clients, batch) integer labels")
+        probs = softmax(logits)
+        self._probs = probs
+        self._targets = targets.astype(np.int64)
+        rows, cols = self._indices(*targets.shape)
+        picked = probs[rows, cols, self._targets]
+        return -np.log(np.clip(picked, 1e-12, None)).mean(axis=-1)
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        clients, batch, _ = self._probs.shape
+        grad = self._probs.copy()
+        rows, cols = self._indices(clients, batch)
+        grad[rows, cols, self._targets] -= 1.0
+        return grad / batch
+
+    def __call__(self, logits: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        return self.forward(logits, targets)
+
+
 class MSELoss:
     """Mean squared error; used by the knowledge-distillation step in MetaFed."""
 

@@ -16,7 +16,18 @@ from collections.abc import Iterator
 
 import numpy as np
 
-from repro.nn.layers import Conv2d, Dropout, Flatten, Layer, Linear, MaxPool2d, ReLU
+from repro.nn.layers import (
+    Conv2d,
+    Dropout,
+    Flatten,
+    Layer,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    batch_layer,
+    has_batched_counterpart,
+    slice_clients,
+)
 from repro.nn.losses import softmax
 from repro.registry import MODELS
 
@@ -73,6 +84,127 @@ class Sequential:
     def clone(self) -> "Sequential":
         """Deep copy of the model (parameters included, caches discarded)."""
         return copy.deepcopy(self)
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+def supports_batching(model: Sequential) -> bool:
+    """Whether every layer of ``model`` has a client-stacked counterpart."""
+    return all(has_batched_counterpart(layer) for layer in model.layers)
+
+
+class BatchedSequential:
+    """Train ``num_clients`` copies of one architecture as a single model.
+
+    Layers carry per-client parameter planes ``(clients, *shape)`` and all
+    activations a leading ``clients`` dimension, so one forward/backward pass
+    trains every client at once — with per-slice math bitwise identical to
+    running each client through the serial :class:`Sequential` (see the
+    batched-kernel notes in :mod:`repro.nn.layers`).  ``named_parameters``
+    yields planes under the *same* canonical names as the template model,
+    which is what keeps the flat-vector ordering of
+    :mod:`repro.nn.serialization` aligned between the two.
+    """
+
+    def __init__(self, layers: list[Layer], num_clients: int) -> None:
+        if not layers:
+            raise ValueError("BatchedSequential requires at least one layer")
+        if num_clients <= 0:
+            raise ValueError("num_clients must be positive")
+        self.layers = list(layers)
+        self.num_clients = num_clients
+        self._views: dict[tuple[int, int], BatchedSequential] = {}
+
+    @classmethod
+    def from_template(cls, template: Sequential, num_clients: int) -> "BatchedSequential":
+        """Stack a serial model's architecture across ``num_clients`` clients."""
+        return cls(
+            [batch_layer(layer, num_clients) for layer in template.layers], num_clients
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def named_parameters(self) -> Iterator[tuple[str, np.ndarray]]:
+        """Yield ``(name, plane)`` pairs in the template model's order."""
+        for idx, layer in enumerate(self.layers):
+            for name in sorted(layer.params):
+                yield f"layer{idx}.{name}", layer.params[name]
+
+    def named_gradients(self) -> Iterator[tuple[str, np.ndarray]]:
+        for idx, layer in enumerate(self.layers):
+            for name in sorted(layer.grads):
+                yield f"layer{idx}.{name}", layer.grads[name]
+
+    def parameter_count(self) -> int:
+        """Per-client flat parameter count (matches the template model's)."""
+        return int(sum(plane[0].size for _, plane in self.named_parameters()))
+
+    def load_global(self, vector: np.ndarray) -> None:
+        """Write one flat global parameter vector into every client's planes."""
+        expected = self.parameter_count()
+        if vector.ndim != 1 or vector.shape[0] != expected:
+            raise ValueError(
+                f"parameter vector has length {vector.shape}, model expects ({expected},)"
+            )
+        offset = 0
+        for _, plane in self.named_parameters():
+            size = plane[0].size
+            plane[...] = vector[offset : offset + size].reshape(plane.shape[1:])
+            offset += size
+
+    def view(self, a: int, b: int) -> "BatchedSequential":
+        """A cached sub-model over client rows ``[a, b)`` sharing storage.
+
+        Layer parameters and gradients of the view are basic-slice views into
+        this model's planes (see :func:`repro.nn.layers.slice_clients`), so
+        training through the view updates the parent in place.  Views are
+        cached per range — the ragged step scheduler revisits the same handful
+        of prefixes every epoch.
+        """
+        if a == 0 and b == self.num_clients:
+            return self
+        if not 0 <= a < b <= self.num_clients:
+            raise ValueError(
+                f"invalid client range [{a}, {b}) for {self.num_clients} clients"
+            )
+        cached = self._views.get((a, b))
+        if cached is None:
+            cached = BatchedSequential(
+                [slice_clients(layer, a, b) for layer in self.layers], b - a
+            )
+            self._views[(a, b)] = cached
+        return cached
+
+    def flatten_per_client(self) -> np.ndarray:
+        """Flatten every client's parameters into a ``(clients, dim)`` matrix.
+
+        Row ``c`` equals ``flatten_params`` of client ``c``'s serial model:
+        the same canonical (layer order, then name order) concatenation,
+        written segment-by-segment into one output matrix (a single copy;
+        ``np.concatenate`` + ``astype`` would make two).
+        """
+        out = np.empty((self.num_clients, self.parameter_count()), dtype=np.float64)
+        offset = 0
+        for _, plane in self.named_parameters():
+            size = plane[0].size
+            out[:, offset : offset + size] = plane.reshape(self.num_clients, size)
+            offset += size
+        return out
 
     def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         return self.forward(x, training=training)

@@ -53,3 +53,79 @@ class SGD:
     def zero_grad(self) -> None:
         """Clear accumulated gradients on the underlying model."""
         self.model.zero_grad()
+
+
+class BatchedSGD(SGD):
+    """SGD over a batched model's stacked per-client parameter planes.
+
+    Every rule in :meth:`SGD.step` — weight decay, momentum, the parameter
+    update — is elementwise, so applying it to ``(clients, *shape)`` planes
+    performs each client's serial update exactly: one vectorised step
+    replaces ``clients`` small ones, bit-for-bit.  The momentum velocity
+    dict holds one stacked plane per parameter name, mirroring the fresh
+    per-client velocities of a serial optimiser created per client.
+
+    :meth:`step_slice` applies the update to a contiguous sub-range of
+    clients only — the ragged step scheduler uses it to step exactly the
+    clients that trained on the current mini-batch, the way each serial
+    optimiser steps only its own client.
+    """
+
+    def __init__(
+        self,
+        model,
+        lr: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if not hasattr(model, "num_clients"):
+            raise ValueError(
+                "BatchedSGD requires a client-stacked model (BatchedSequential)"
+            )
+        super().__init__(model, lr=lr, momentum=momentum, weight_decay=weight_decay)
+        # (name, param plane, grad plane, scratch plane) — resolved once; the
+        # planes are stable arrays (``load_global`` writes in place), so
+        # re-walking the model and building gradient dicts every step would
+        # only burn Python time.  The scratch plane holds ``lr * update`` so
+        # the hot ``param -= lr * update`` line allocates nothing.
+        grads = dict(model.named_gradients())
+        self._pairs = [
+            (name, param, grads[name], np.empty_like(param))
+            for name, param in model.named_parameters()
+        ]
+
+    def step(self) -> None:
+        self.step_slice(0, self.model.num_clients)
+
+    def step_slice(self, a: int, b: int) -> None:
+        """Apply one update to client rows ``[a, b)`` of every plane.
+
+        Velocity planes are allocated full-size on first use and sliced, so a
+        client's momentum state persists across steps regardless of which
+        run (full-batch prefix or partial-batch tail) it lands in.
+        """
+        if not 0 <= a < b <= self.model.num_clients:
+            raise ValueError(
+                f"invalid client range [{a}, {b}) for {self.model.num_clients} clients"
+            )
+        for name, param, grad_plane, scratch in self._pairs:
+            grad = grad_plane[a:b]
+            plane = param[a:b]
+            if self.weight_decay:
+                grad = grad + self.weight_decay * plane
+            if self.momentum:
+                vel = self._velocity.get(name)
+                if vel is None:
+                    vel = np.zeros_like(param)
+                    self._velocity[name] = vel
+                vel_slice = vel[a:b]
+                np.multiply(vel_slice, self.momentum, out=vel_slice)
+                vel_slice += grad
+                update = vel_slice
+            else:
+                update = grad
+            # ``update * lr`` into scratch, then in-place subtract: the same
+            # two elementwise ops as ``plane -= lr * update``, minus the temp.
+            scratch_slice = scratch[a:b]
+            np.multiply(update, self.lr, out=scratch_slice)
+            plane -= scratch_slice

@@ -397,6 +397,7 @@ BACKENDS = Registry(
     "backend",
     load_from=(
         "repro.federated.engine.backends",
+        "repro.federated.engine.batched",
         "repro.federated.engine.distributed.coordinator",
     ),
 )

@@ -183,6 +183,10 @@ class TestListBackendCaps:
         assert "streaming" in lines["distributed"]
         assert "processes" in lines["distributed"]
         assert "multi-host" in lines["distributed"]
+        # Cross-client stacked execution advertises itself as a capability.
+        assert "batched" in lines["batched"]
+        assert "streaming" in lines["batched"]
+        assert "batched" not in lines["serial"]
 
 
 class TestWorkerSubcommand:

@@ -1,0 +1,269 @@
+"""Federated-level pinned tests for the cross-client batched backend.
+
+The kernel-level ground truth lives in ``tests/nn/test_batched_kernels.py``; these
+tests pin the acceptance bar one level up: a seeded ``backend="batched"`` run
+produces the **bit-identical** :class:`TrainingHistory` of the serial backend
+— for the plain mean defense, for krum, and for FedDC including its per-client
+drift state — and every fallback path (unbatchable model, singleton groups,
+empty client data) degrades to the serial task path rather than diverging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.attacks.triggers import PixelPatchTrigger
+from repro.core.collapois import CollaPoisAttack
+from repro.defenses.base import MeanAggregator
+from repro.defenses.krum import Krum
+from repro.federated.algorithms.fedavg import FedAvg
+from repro.federated.algorithms.feddc import FedDC
+from repro.federated.client import LocalTrainingConfig
+from repro.federated.engine import SerialBackend, make_backend
+from repro.federated.engine.batched import BatchedBackend
+from repro.federated.server import FederatedServer, ServerConfig
+from repro.nn.layers import Flatten
+from repro.nn.model import Sequential, make_mlp
+
+
+def _make_server(
+    federation,
+    factory,
+    backend,
+    algorithm=None,
+    aggregator=None,
+    attack=False,
+    rounds=4,
+    sample_rate=0.5,
+):
+    config = ServerConfig(
+        rounds=rounds,
+        sample_rate=sample_rate,
+        seed=2,
+        local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
+    )
+    attack_obj = None
+    compromised = None
+    if attack:
+        attack_obj = CollaPoisAttack(trojan_epochs=2)
+        compromised = [0, 3]
+        attack_obj.setup(
+            federation, compromised, factory, PixelPatchTrigger(12, patch_size=3), 0, seed=2
+        )
+    return FederatedServer(
+        federation,
+        factory,
+        (algorithm or FedAvg)(),
+        config,
+        aggregator=aggregator,
+        attack=attack_obj,
+        compromised_ids=compromised,
+        backend=backend,
+    )
+
+
+def _history_fingerprint(history):
+    return [
+        (
+            r.round_idx,
+            tuple(r.sampled_clients),
+            tuple(r.compromised_sampled),
+            r.mean_benign_loss,
+            r.update_norm,
+        )
+        for r in history.records
+    ]
+
+
+def _assert_identical_runs(reference, other):
+    reference.run()
+    other.run()
+    other.close()
+    np.testing.assert_array_equal(reference.global_params, other.global_params)
+    assert _history_fingerprint(reference.history) == _history_fingerprint(other.history)
+
+
+class TestBatchedBitIdentity:
+    """``backend="batched"`` must reproduce serial histories byte-for-byte."""
+
+    def test_mean_defense_matches_serial(self, small_federation, image_model_factory):
+        reference = _make_server(
+            small_federation, image_model_factory, "serial",
+            aggregator=MeanAggregator(), rounds=6, sample_rate=1.0,
+        )
+        other = _make_server(
+            small_federation, image_model_factory, "batched",
+            aggregator=MeanAggregator(), rounds=6, sample_rate=1.0,
+        )
+        _assert_identical_runs(reference, other)
+
+    def test_krum_defense_matches_serial(self, small_federation, image_model_factory):
+        reference = _make_server(
+            small_federation, image_model_factory, "serial",
+            aggregator=Krum(num_malicious=2), rounds=6,
+        )
+        other = _make_server(
+            small_federation, image_model_factory, "batched",
+            aggregator=Krum(num_malicious=2), rounds=6,
+        )
+        _assert_identical_runs(reference, other)
+
+    def test_feddc_matches_serial_including_drift(
+        self, small_federation, image_model_factory
+    ):
+        # FedDC's per-client drift both feeds the batched proximal term and
+        # is written back from batched updates — state must round-trip too.
+        reference = _make_server(
+            small_federation, image_model_factory, "serial", algorithm=FedDC, rounds=6
+        )
+        other = _make_server(
+            small_federation, image_model_factory, "batched", algorithm=FedDC, rounds=6
+        )
+        _assert_identical_runs(reference, other)
+        np.testing.assert_array_equal(
+            reference.algorithm.drift, other.algorithm.drift
+        )
+
+    def test_attacked_run_matches_serial(self, small_federation, image_model_factory):
+        # Malicious tasks stay on the driver model; only benign work stacks.
+        reference = _make_server(small_federation, image_model_factory, "serial", attack=True)
+        other = _make_server(small_federation, image_model_factory, "batched", attack=True)
+        _assert_identical_runs(reference, other)
+        recorded = sum(len(r.compromised_sampled) for r in other.history.records)
+        assert len(other.attack.psi_history) == recorded
+
+    def test_max_group_chunking_matches_serial(
+        self, small_federation, image_model_factory
+    ):
+        reference = _make_server(
+            small_federation, image_model_factory, "serial", rounds=3, sample_rate=1.0
+        )
+        other = _make_server(
+            small_federation, image_model_factory, BatchedBackend(max_group=3),
+            rounds=3, sample_rate=1.0,
+        )
+        _assert_identical_runs(reference, other)
+
+    def test_serial_batch_clients_knob_matches_plain_serial(
+        self, small_federation, image_model_factory
+    ):
+        reference = _make_server(small_federation, image_model_factory, "serial", rounds=3)
+        other = _make_server(
+            small_federation, image_model_factory, SerialBackend(batch_clients=4), rounds=3
+        )
+        _assert_identical_runs(reference, other)
+
+    def test_streaming_iter_updates_matches_barrier_execute(
+        self, small_federation, image_model_factory
+    ):
+        # The server picks iter_updates for streaming-capable aggregators;
+        # force both paths and compare.
+        reference = _make_server(
+            small_federation, image_model_factory, "batched", rounds=3
+        )
+        config = ServerConfig(
+            rounds=3, sample_rate=0.5, seed=2,
+            local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
+            streaming="off",
+        )
+        other = FederatedServer(
+            small_federation, image_model_factory, FedAvg(), config, backend="batched"
+        )
+        _assert_identical_runs(reference, other)
+
+
+class TestBatchedFallbacks:
+    def test_dropout_model_falls_back_to_serial_path(
+        self, small_federation, femnist_generator
+    ):
+        # Dropout has no batched counterpart, so the whole model is
+        # unbatchable; the runner must serve every task serially and still
+        # match the serial backend exactly.
+        size = femnist_generator.image_size
+
+        def factory():
+            mlp = make_mlp(
+                size * size, (24,), femnist_generator.num_classes, seed=5, dropout=0.2
+            )
+            return Sequential([Flatten(), *mlp.layers])
+
+        reference = _make_server(small_federation, factory, "serial", rounds=2)
+        other = _make_server(small_federation, factory, "batched", rounds=2)
+        _assert_identical_runs(reference, other)
+        assert other.backend._get_runner().batched_task_count == 0
+
+    def test_singleton_groups_take_plain_task_path(
+        self, small_federation, image_model_factory
+    ):
+        server = _make_server(
+            small_federation, image_model_factory, BatchedBackend(max_group=1),
+            rounds=2, sample_rate=1.0,
+        )
+        server.run()
+        assert server.backend._get_runner().batched_task_count == 0
+
+    def test_batched_task_count_counts_stacked_clients(
+        self, small_federation, image_model_factory
+    ):
+        server = _make_server(
+            small_federation, image_model_factory, "batched", rounds=2, sample_rate=1.0
+        )
+        server.run()
+        counted = server.backend._get_runner().batched_task_count
+        sampled = sum(len(r.sampled_clients) for r in server.history.records)
+        assert counted == sampled > 0
+
+    def test_empty_client_data_yields_zero_update(self, femnist_generator):
+        from repro.data.federated_data import ClientData, FederatedDataset
+
+        pool = femnist_generator.sample_iid(48, seed=0)
+        empty = pool.subset(np.arange(0))
+        clients = []
+        for i in range(4):
+            train = (
+                empty if i == 1 else pool.subset(np.arange(i * 8, (i + 1) * 8))
+            )
+            test = pool.subset(np.arange(40, 48))
+            clients.append(
+                ClientData(
+                    client_id=i,
+                    train=train,
+                    test=test,
+                    val=test,
+                    class_counts=train.class_counts(femnist_generator.num_classes),
+                )
+            )
+        federation = FederatedDataset(
+            clients=clients,
+            num_classes=femnist_generator.num_classes,
+            alpha=0.5,
+            input_shape=pool.x.shape[1:],
+        )
+        size = femnist_generator.image_size
+
+        def factory():
+            mlp = make_mlp(size * size, (16,), femnist_generator.num_classes, seed=5)
+            return Sequential([Flatten(), *mlp.layers])
+
+        reference = _make_server(federation, factory, "serial", rounds=2, sample_rate=1.0)
+        other = _make_server(federation, factory, "batched", rounds=2, sample_rate=1.0)
+        _assert_identical_runs(reference, other)
+
+
+class TestBatchedConstruction:
+    def test_registry_constructs_batched(self):
+        assert isinstance(make_backend("batched"), BatchedBackend)
+        assert isinstance(make_backend("batched", max_group=4), BatchedBackend)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_nonpositive_max_group(self, bad):
+        with pytest.raises(ValueError, match="max_group"):
+            BatchedBackend(max_group=bad)
+        with pytest.raises(ValueError, match="batch_clients"):
+            SerialBackend(batch_clients=bad)
+
+    def test_capability_flags(self):
+        backend = BatchedBackend()
+        assert backend.streaming_updates
+        assert backend.batched_execution

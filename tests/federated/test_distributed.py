@@ -135,6 +135,85 @@ class TestProtocol:
         ) != fingerprint
 
 
+class TestWireDtype:
+    """fp32 wire format: protocol plumbing plus the end-to-end opt-in."""
+
+    def test_float32_message_roundtrip_halves_bytes(self):
+        rng = np.random.default_rng(1)
+        vector = rng.normal(size=257)
+        full = protocol.encode_message({"k": 1}, {"v": vector})
+        half = protocol.encode_message({"k": 1}, {"v": vector}, dtype="float32")
+        # Same header modulo the _dtype tag; the array section halves.
+        assert len(full) - len(half) == 257 * 4
+        fields, arrays = protocol.decode_message(half)
+        assert fields == {"k": 1}
+        np.testing.assert_array_equal(
+            arrays["v"], vector.astype(np.float32).astype(np.float64)
+        )
+        assert arrays["v"].dtype == np.float64  # always rehydrated to f64
+
+    def test_dtype_header_only_present_with_arrays(self):
+        fields, _arrays = protocol.decode_message(
+            protocol.encode_message({"k": 1}, None, dtype="float32")
+        )
+        assert fields == {"k": 1}  # no arrays -> no _dtype leaks through
+
+    def test_unknown_dtype_rejected_on_encode_and_decode(self):
+        with pytest.raises(ValueError, match="unknown wire dtype"):
+            protocol.encode_message({}, {"v": np.zeros(3)}, dtype="float16")
+        # A peer declaring an unknown dtype is a protocol violation.
+        payload = bytearray(
+            protocol.encode_message({}, {"v": np.zeros(3)}, dtype="float32")
+        )
+        corrupt = bytes(payload).replace(b'"_dtype":"float32"', b'"_dtype":"flort32"')
+        with pytest.raises(protocol.ProtocolError, match="unknown wire dtype"):
+            protocol.decode_message(corrupt)
+
+    def test_reserved_header_fields_rejected(self):
+        for reserved in ("_arrays", "_dtype"):
+            with pytest.raises(ValueError, match="reserved"):
+                protocol.encode_message({reserved: 1})
+
+    def test_backend_validates_wire_dtype_at_construction(self):
+        with pytest.raises(ValueError, match="unknown wire dtype"):
+            DistributedBackend(max_workers=1, wire_dtype="float16")
+        backend = DistributedBackend(max_workers=1, wire_dtype="float32")
+        assert backend.wire_dtype == "float32"
+        backend.close()
+
+    def test_float32_run_tracks_serial_within_tolerance(self):
+        """The lossy opt-in: not bit-identical, but numerically close."""
+        records, _server = distributed_history(
+            backend_kwargs={"wire_dtype": "float32"}
+        )
+        reference = serial_history("mean")
+        assert [r["round_idx"] for r in records] == [
+            r["round_idx"] for r in reference
+        ]
+        # Sampling draws on the driver, so client choice is unaffected; only
+        # the shipped float payloads are quantised.
+        assert [r["sampled_clients"] for r in records] == [
+            r["sampled_clients"] for r in reference
+        ]
+        for got, want in zip(records, reference):
+            np.testing.assert_allclose(
+                got["mean_benign_loss"], want["mean_benign_loss"], rtol=1e-4
+            )
+            np.testing.assert_allclose(
+                got["update_norm"], want["update_norm"], rtol=1e-4
+            )
+        # fp32 really was lossy somewhere (guards against silently running f64).
+        assert any(
+            got["update_norm"] != want["update_norm"]
+            for got, want in zip(records, reference)
+        )
+
+    def test_scenario_spec_routes_wire_dtype(self):
+        scenario = base_scenario(backend="distributed:wire_dtype='float32'")
+        assert scenario.backend == "distributed"
+        assert scenario.backend_kwargs == {"wire_dtype": "float32"}
+
+
 class TestCoordinatorConfig:
     def test_registered_and_constructible(self):
         backend = make_backend("distributed", max_workers=2)

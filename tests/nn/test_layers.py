@@ -241,7 +241,28 @@ class TestMaxPool2d:
         assert grad[0, 0, 1, 1] == 1.0 and grad[0, 0, 3, 3] == 1.0
         assert grad[0, 0, 0, 0] == 0.0
 
-    def test_rejects_nondivisible_dims(self, rng):
+    def test_floors_nondivisible_dims(self, rng):
+        # 7x5 input under a 3-window floors to 2x1; the remainder rows and
+        # columns are cropped, exactly as if the input had been pre-cropped.
+        pool = MaxPool2d(3)
+        x = rng.normal(size=(2, 3, 7, 5))
+        out = pool.forward(x)
+        assert out.shape == (2, 3, 2, 1)
+        np.testing.assert_array_equal(out, MaxPool2d(3).forward(x[:, :, :6, :3]))
+
+    def test_backward_zeroes_cropped_region(self, rng):
+        pool = MaxPool2d(3)
+        x = rng.normal(size=(2, 3, 7, 5))
+        out = pool.forward(x)
+        grad_out = rng.normal(size=out.shape)
+        grad = pool.backward(grad_out)
+        assert grad.shape == x.shape
+        assert np.all(grad[:, :, 6:, :] == 0.0)
+        assert np.all(grad[:, :, :, 3:] == 0.0)
+        # Each window routes its whole incoming gradient to one argmax cell.
+        np.testing.assert_allclose(grad.sum(), grad_out.sum())
+
+    def test_rejects_input_smaller_than_window(self, rng):
         pool = MaxPool2d(3)
         with pytest.raises(ValueError):
-            pool.forward(rng.normal(size=(1, 1, 4, 4)))
+            pool.forward(rng.normal(size=(1, 1, 2, 4)))

@@ -128,3 +128,47 @@ class TestCompare:
         assert found[0] == 11
         assert main(["compare", str(report), "--against", str(tmp_path / "BENCH_11.json")]) == 0
         assert "No regressions" in capsys.readouterr().out
+
+
+class TestCompareGracefulDegrade:
+    """``compare`` must degrade to a notice + exit 0 when there is nothing
+    usable to compare against — CI runs it unconditionally, so a thin or
+    missing trajectory must never fail the build."""
+
+    def _fresh(self, tmp_path):
+        report = tmp_path / "raw.json"
+        report.write_text(
+            json.dumps(
+                {
+                    "machine_info": {},
+                    "benchmarks": [
+                        {"name": "test_a", "stats": {"median": 1.0}, "extra_info": {}}
+                    ],
+                }
+            )
+        )
+        return report
+
+    def test_missing_against_file_skips_cleanly(self, tmp_path, capsys):
+        report = self._fresh(tmp_path)
+        missing = tmp_path / "BENCH_99.json"
+        assert main(["compare", str(report), "--against", str(missing)]) == 0
+        out = capsys.readouterr().out
+        assert "does not exist" in out and "skipping" in out
+
+    def test_empty_records_baseline_skips_cleanly(self, tmp_path, capsys):
+        report = self._fresh(tmp_path)
+        for payload in ({"records": []}, {"pr": 3, "cpu_count": 1}):
+            baseline = tmp_path / "BENCH_3.json"
+            baseline.write_text(json.dumps(payload))
+            assert main(["compare", str(report), "--against", str(baseline)]) == 0
+            out = capsys.readouterr().out
+            assert "records no benchmarks" in out and "skipping" in out
+
+    def test_no_committed_trajectory_skips_cleanly(self, tmp_path, capsys, monkeypatch):
+        from benchmarks import record
+
+        report = self._fresh(tmp_path)
+        monkeypatch.setattr(record, "latest_committed_record", lambda root: None)
+        assert main(["compare", str(report)]) == 0
+        assert "no committed BENCH" in capsys.readouterr().out

@@ -115,6 +115,11 @@ class TestRegistry:
         with pytest.raises(ValueError, match="did you mean 'krum'"):
             DEFENSES.get("krun")
 
+    def test_misspelled_backend_suggests_batched(self):
+        # What `--backend bacthed` surfaces through the CLI error path.
+        with pytest.raises(ValueError, match="did you mean 'batched'"):
+            BACKENDS.get("bacthed")
+
     def test_unknown_kwarg_lists_accepted_params(self):
         with pytest.raises(ValueError, match="accepted: num_malicious, multi"):
             DEFENSES.create("krum:bogus=1")
@@ -164,7 +169,7 @@ class TestFamilies:
             (ALGORITHMS, {"fedavg", "feddc", "metafed"}),
             (ATTACKS, {"collapois", "dpois", "mrepl", "dba"}),
             (TRIGGERS, {"warping", "patch", "token"}),
-            (BACKENDS, {"serial", "thread", "process"}),
+            (BACKENDS, {"serial", "thread", "process", "batched", "distributed"}),
         ],
     )
     def test_family_members(self, registry, expected):
