@@ -9,8 +9,8 @@ from __future__ import annotations
 import numpy as np
 
 from benchmarks.conftest import run_once
-from repro.experiments.theory_figs import alpha_to_bound, bound_surface
 from repro.experiments.results import format_table
+from repro.experiments.theory_figs import alpha_to_bound, bound_surface
 
 
 def test_fig05_bound_surface(benchmark):

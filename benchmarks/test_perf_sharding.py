@@ -68,12 +68,16 @@ def test_sharded_fold_latency_scaling(benchmark):
         for param_dim in PARAM_DIMS:
             updates = _synthetic_updates(param_dim)
             plain_s, plain_out = _best_of(
-                lambda: _fold_round(MeanAggregator(), updates, param_dim)
+                lambda updates=updates, param_dim=param_dim: _fold_round(
+                    MeanAggregator(), updates, param_dim
+                )
             )
             sharded = ShardedAggregator(MeanAggregator(), NUM_SHARDS)
             try:
                 sharded_s, sharded_out = _best_of(
-                    lambda: _fold_round(sharded, updates, param_dim)
+                    lambda updates=updates, param_dim=param_dim: _fold_round(
+                        sharded, updates, param_dim
+                    )
                 )
             finally:
                 sharded.close()

@@ -1,11 +1,12 @@
 """``python -m repro`` — run scenarios and sweeps without writing Python.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro list [family]        # registered components + params
     python -m repro run scenario.json    # run one scenario
     python -m repro sweep suite.json     # run a sweep suite
     python -m repro worker --listen :0   # standalone distributed worker
+    python -m repro lint [paths]         # project-specific static analysis
 
 ``run`` accepts ``--set key=value`` overrides (values parsed as literals,
 component fields accept spec strings like ``--set defense=krum:multi=3``),
@@ -165,6 +166,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint stack is pure stdlib but irrelevant to runs.
+    from repro.lint.base import Project
+    from repro.lint.baseline import DEFAULT_BASELINE, load_baseline, write_baseline
+    from repro.lint.engine import (
+        lint_project,
+        render_json,
+        render_text,
+        resolve_checkers,
+        run_lint,
+    )
+
+    if args.list:
+        rows = []
+        for checker in resolve_checkers():
+            for rule, text in sorted(checker.rules.items()):
+                rows.append({"checker": checker.name, "rule": rule, "what": text})
+        print(format_table(rows))
+        return 0
+    paths = args.paths or [Path(__file__).resolve().parent]
+    if args.write_baseline:
+        # Regenerate from the *unsuppressed* findings, so stale baseline
+        # entries drop out; reasons already recorded are carried over.
+        target = args.baseline if args.baseline is not None else DEFAULT_BASELINE
+        project = Project.collect(paths)
+        checkers = resolve_checkers(args.select or None, args.ignore or None)
+        report = lint_project(project, checkers, baseline=None)
+        reasons = load_baseline(target) if Path(target).exists() else {}
+        count = write_baseline(target, report.findings, reasons)
+        print(f"Wrote {count} suppression(s) to {target}")
+        return 0
+    report = run_lint(
+        paths,
+        select=args.select or None,
+        ignore=args.ignore or None,
+        baseline_path=args.baseline,
+    )
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     # Imported lazily: the worker pulls in the whole experiments stack.
     from repro.federated.engine.distributed.worker import run_worker
@@ -186,7 +231,7 @@ def build_parser() -> argparse.ArgumentParser:
         "family",
         nargs="?",
         help="component family (defenses, attacks, datasets, models, "
-        "algorithms, triggers, backends); omit to list families",
+        "algorithms, triggers, backends, checkers); omit to list families",
     )
     list_parser.set_defaults(func=_cmd_list)
 
@@ -233,6 +278,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit after serving one coordinator (what spawned workers use)",
     )
     worker_parser.set_defaults(func=_cmd_worker)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the project-specific static analysis",
+        description="Run the repo's own lint checkers (seed discipline, "
+        "backend shared-state, fold determinism, wire-protocol versioning, "
+        "registry completeness) over Python sources. With no paths, lints "
+        "the installed repro package. Exit status: 0 clean, 1 findings, "
+        "2 usage error.",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: the repro package)",
+    )
+    lint_parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="CHECKER",
+        help="run only these checkers (repeatable; accepts registry specs "
+        "like \"rng-discipline:allow=('repro/legacy/*',)\")",
+    )
+    lint_parser.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="CHECKER",
+        help="skip these checkers (repeatable)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default text)",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        type=Path,
+        help="baseline file of suppressed findings (default: the baseline "
+        "committed with the package)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit",
+    )
+    lint_parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the available checkers and their rules",
+    )
+    lint_parser.set_defaults(func=_cmd_lint)
     return parser
 
 

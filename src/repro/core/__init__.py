@@ -13,8 +13,8 @@
 """
 
 from repro.core.collapois import CollaPoisAttack
-from repro.core.targeted import TargetedCollaPois
 from repro.core.stealth import StealthConfig, blend_statistics, clip_update
+from repro.core.targeted import TargetedCollaPois
 from repro.core.theory import (
     approximate_lower_bound,
     compromised_fraction_surface,

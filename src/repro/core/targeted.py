@@ -26,9 +26,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.attacks.triggers import poison_dataset
 from repro.core.collapois import CollaPoisAttack
 from repro.core.trojan import train_trojan_model
-from repro.attacks.triggers import poison_dataset
 from repro.federated.client import local_train
 from repro.metrics.similarity import cumulative_label_cosine
 

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
+
 from repro.registry import DEFENSES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only

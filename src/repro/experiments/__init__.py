@@ -7,9 +7,13 @@ The benchmark suite under ``benchmarks/`` calls these functions and prints
 the regenerated rows; ``EXPERIMENTS.md`` records paper-vs-measured values.
 """
 
+from repro.experiments.attack_comparison import attack_comparison_sweep, baseline_sensitivity_sweep
+from repro.experiments.client_level import client_cluster_analysis, label_similarity_analysis
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.scenario import Scenario
-from repro.experiments.suite import CellResult, Suite
+from repro.experiments.defense_evaluation import compromised_fraction_sweep, defense_sweep
+from repro.experiments.gradient_geometry import gradient_angle_analysis, stealth_angle_analysis
+from repro.experiments.longevity import longevity_analysis
+from repro.experiments.results import ExperimentResult, format_table
 from repro.experiments.runner import (
     build_attack,
     build_dataset,
@@ -17,17 +21,13 @@ from repro.experiments.runner import (
     run_experiment,
     select_compromised_clients,
 )
-from repro.experiments.results import ExperimentResult, format_table
-from repro.experiments.attack_comparison import attack_comparison_sweep, baseline_sensitivity_sweep
-from repro.experiments.defense_evaluation import compromised_fraction_sweep, defense_sweep
-from repro.experiments.gradient_geometry import gradient_angle_analysis, stealth_angle_analysis
+from repro.experiments.scenario import Scenario
+from repro.experiments.suite import CellResult, Suite
 from repro.experiments.theory_figs import (
     bound_approximation_error_sweep,
     bound_surface,
     estimation_error_over_rounds,
 )
-from repro.experiments.client_level import client_cluster_analysis, label_similarity_analysis
-from repro.experiments.longevity import longevity_analysis
 
 __all__ = [
     "Scenario",

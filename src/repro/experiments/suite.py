@@ -68,7 +68,7 @@ class Suite:
         self._grid = {k: list(v) for k, v in grid.items()} if grid else None
         if self._grid is not None:
             cells = [
-                dict(zip(self._grid, combo))
+                dict(zip(self._grid, combo, strict=True))
                 for combo in itertools.product(*self._grid.values())
             ]
         # An explicitly empty cell list (e.g. an empty grid axis, or filter()
@@ -154,7 +154,7 @@ class Suite:
                 hooks=tuple(hooks or ()),
             )
 
-        jobs = list(zip(scenarios, self.cells))
+        jobs = list(zip(scenarios, self.cells, strict=True))
         if cell_workers == 1 or len(jobs) <= 1:
             return [run_cell(scenario, overrides) for scenario, overrides in jobs]
         with ThreadPoolExecutor(

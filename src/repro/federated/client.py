@@ -98,7 +98,7 @@ def local_train(
     criterion = SoftmaxCrossEntropy()
     anchor = global_params if drift_correction is None else global_params - drift_correction
     last_epoch_losses: list[float] = []
-    for epoch in range(config.epochs):
+    for _epoch in range(config.epochs):
         epoch_losses: list[float] = []
         for batch_x, batch_y in data.batches(config.batch_size, rng=rng):
             optimiser.zero_grad()

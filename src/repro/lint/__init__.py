@@ -1,0 +1,31 @@
+"""Project-specific static analysis (``repro lint``).
+
+The library's correctness story rests on conventions no general-purpose
+linter knows about: all randomness must derive from the run seed, code
+dispatched off-driver must not mutate driver state, aggregator folds must
+stay elementwise, the distributed wire protocol must version its structure,
+and every registered component must be constructible from a spec string.
+This package is a small pluggable lint framework — :class:`Checker`
+protocol, :class:`Finding` value objects, baseline suppression — plus the
+five checkers that enforce those conventions (see
+:mod:`repro.lint.checkers`).
+
+Programmatic entry point: :func:`repro.lint.engine.run_lint`; command line:
+``python -m repro lint [paths]``.
+"""
+
+from repro.lint.base import Checker, Project, SourceFile
+from repro.lint.engine import LintReport, lint_project, resolve_checkers, run_lint
+from repro.lint.findings import Finding, Severity
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "Project",
+    "Severity",
+    "SourceFile",
+    "lint_project",
+    "resolve_checkers",
+    "run_lint",
+]

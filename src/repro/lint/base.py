@@ -1,0 +1,167 @@
+"""Checker protocol and the source-file model the checkers analyse.
+
+A :class:`Project` is the unit of a lint run: the set of Python sources
+collected from the paths on the command line.  Checkers implement one
+method, ``run(project) -> iterable of Finding`` — most walk each file's
+AST, but project-level checkers (the wire-protocol golden, the registry
+sweep) are first-class citizens of the same protocol.
+
+Checkers register in the ``checker`` family of :mod:`repro.registry`
+(:data:`repro.registry.CHECKERS`), which gives ``repro lint --select``
+the same spec parsing, constructor introspection and did-you-mean error
+messages as every other component family.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.lint.findings import Finding, Severity, stable_path
+
+
+@dataclass
+class SourceFile:
+    """One Python source file under analysis."""
+
+    path: Path
+    #: Project-relative posix path used in reports.
+    rel: str
+    text: str
+    _tree: ast.Module | None = field(default=None, repr=False)
+    _lines: list[str] | None = field(default=None, repr=False)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> "SourceFile":
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(path=path, rel=rel, text=path.read_text(encoding="utf-8"))
+
+    @classmethod
+    def from_source(cls, text: str, rel: str = "<string>") -> "SourceFile":
+        """Build from literal source text (fixture snippets in tests)."""
+        return cls(path=Path(rel), rel=rel, text=text)
+
+    def tree(self) -> ast.Module:
+        """The parsed module (raises ``SyntaxError`` on broken source)."""
+        if self._tree is None:
+            self._tree = ast.parse(self.text, filename=self.rel)
+        return self._tree
+
+    def line(self, lineno: int) -> str:
+        """The stripped source text of one 1-indexed line (for context)."""
+        if self._lines is None:
+            self._lines = self.text.splitlines()
+        if 1 <= lineno <= len(self._lines):
+            return self._lines[lineno - 1].strip()
+        return ""
+
+
+@dataclass
+class Project:
+    """The collection of sources one lint invocation analyses."""
+
+    root: Path
+    files: tuple[SourceFile, ...]
+
+    @classmethod
+    def collect(cls, paths: Iterable[Path | str], root: Path | str | None = None) -> "Project":
+        """Gather ``*.py`` files under each path (files pass through as-is)."""
+        root = Path(root) if root is not None else Path.cwd()
+        seen: dict[Path, None] = {}
+        for entry in paths:
+            entry = Path(entry)
+            if entry.is_dir():
+                for path in sorted(entry.rglob("*.py")):
+                    seen.setdefault(path, None)
+            elif entry.is_file():
+                seen.setdefault(entry, None)
+            else:
+                raise ValueError(f"lint path {entry} does not exist")
+        files = tuple(SourceFile.load(path, root) for path in seen)
+        return cls(root=root, files=files)
+
+    def python_files(self) -> tuple[SourceFile, ...]:
+        return self.files
+
+    def find(self, suffix: str) -> SourceFile | None:
+        """The first file whose normalised path ends with ``suffix``."""
+        suffix = suffix.lstrip("/")
+        for source in self.files:
+            if stable_path(source.rel).endswith(suffix) or source.rel.endswith(suffix):
+                return source
+        return None
+
+
+class Checker:
+    """Base class of every lint checker.
+
+    Subclasses set ``name`` (the registry/CLI name), ``description`` and
+    ``rules`` (rule id → one-line description) and implement :meth:`run`.
+    ``allow`` is a tuple of ``fnmatch`` patterns matched against each
+    finding's normalised path — the per-checker allowlist escape hatch for
+    files that are exempt from the convention by design.
+    """
+
+    name = "checker"
+    description = ""
+    rules: dict[str, str] = {}
+
+    def __init__(self, allow: tuple[str, ...] = ()) -> None:
+        self.allow = tuple(allow)
+
+    def run(self, project: Project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    # -- helpers for subclasses -------------------------------------------
+
+    def allowed(self, source: SourceFile) -> bool:
+        """Whether the file is exempt from this checker via ``allow``."""
+        normalised = stable_path(source.rel)
+        return any(
+            fnmatch(normalised, pattern) or fnmatch(source.rel, pattern)
+            for pattern in self.allow
+        )
+
+    def finding(
+        self,
+        source: SourceFile,
+        node: ast.AST | int,
+        rule: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at an AST node (or line number)."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line, col = getattr(node, "lineno", 1), getattr(node, "col_offset", 0)
+        return Finding(
+            file=source.rel,
+            line=line,
+            col=col,
+            rule=rule,
+            message=message,
+            checker=self.name,
+            severity=severity,
+            context=source.line(line),
+        )
+
+    def iter_trees(self, project: Project) -> Iterator[tuple[SourceFile, ast.Module]]:
+        """Yield ``(source, tree)`` for each parseable, non-allowlisted file.
+
+        Unparseable files are skipped here — the engine reports a syntax
+        error once per file instead of once per checker.
+        """
+        for source in project.python_files():
+            if self.allowed(source):
+                continue
+            try:
+                yield source, source.tree()
+            except SyntaxError:
+                continue

@@ -1,0 +1,76 @@
+"""Baseline-file suppression: carry reviewed findings without failing CI.
+
+A baseline is a committed JSON file listing finding fingerprints that have
+been reviewed and accepted (with a reason).  ``repro lint`` subtracts the
+baseline from its findings, so the suite can be adopted on a codebase with
+known, deliberate exceptions — and any *new* violation still fails.  The
+default baseline ships with the package (``src/repro/lint/baseline.json``);
+``repro lint --write-baseline`` regenerates it from the current findings.
+
+Fingerprints key on the normalised path, rule id and offending source line
+(see :meth:`repro.lint.findings.Finding.fingerprint`), so baselines survive
+unrelated edits and differing checkout locations.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: The baseline committed with the package, used when ``--baseline`` is not
+#: given.  Missing is fine (an empty baseline); an *explicit* missing path
+#: is an error in the CLI layer.
+DEFAULT_BASELINE = Path(__file__).parent / "baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+def load_baseline(path: Path | str) -> dict[str, str]:
+    """Load ``{fingerprint: reason}`` from a baseline file."""
+    path = Path(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"baseline {path} is not a version-{_FORMAT_VERSION} baseline file"
+        )
+    suppressions = data.get("suppressions", [])
+    table: dict[str, str] = {}
+    for entry in suppressions:
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(
+                f"baseline {path} entries need a 'fingerprint' key: {entry!r}"
+            )
+        table[entry["fingerprint"]] = entry.get("reason", "")
+    return table
+
+
+def write_baseline(
+    path: Path | str, findings: Iterable[Finding], reasons: dict[str, str] | None = None
+) -> int:
+    """Write the findings' fingerprints as a new baseline; returns the count.
+
+    ``reasons`` maps fingerprints to explanation strings; entries whose
+    reason is unknown get a placeholder so the committed file prompts a
+    human to fill it in.
+    """
+    reasons = reasons or {}
+    entries = []
+    seen = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        entries.append(
+            {
+                "fingerprint": fingerprint,
+                "rule": finding.rule,
+                "reason": reasons.get(fingerprint, "TODO: justify this suppression"),
+            }
+        )
+    payload = {"version": _FORMAT_VERSION, "suppressions": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(entries)

@@ -1,0 +1,7 @@
+"""The project-specific checkers.
+
+Each module registers its checker in the ``checker`` registry family
+(:data:`repro.registry.CHECKERS`); the family's lazy ``load_from`` list is
+the source of truth for what exists, so this package intentionally does not
+import the checker modules eagerly.
+"""

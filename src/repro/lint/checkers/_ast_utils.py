@@ -1,0 +1,135 @@
+"""Small AST helpers shared by the project checkers.
+
+The central trick is *canonical call names*: ``build_import_map`` records
+what each local name binds to (``np`` → ``numpy``, ``shuffle`` →
+``random.shuffle``), and :func:`canonical_name` rewrites a call target's
+dotted path through that map — so ``np.random.default_rng()``,
+``numpy.random.default_rng()`` and ``from numpy.random import
+default_rng; default_rng()`` all resolve to the same
+``numpy.random.default_rng`` string the checkers match against.  Names
+that do not resolve through an import (locals, attributes of unknown
+objects) return ``None`` and are never matched, which keeps the checkers
+free of false positives on same-named locals.
+"""
+
+from __future__ import annotations
+
+import ast
+
+
+def build_import_map(tree: ast.Module) -> dict[str, str]:
+    """Map local names to canonical dotted origins, from the module's imports."""
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".", 1)[0]
+                # ``import a.b`` binds ``a``; ``import a.b as c`` binds the
+                # full dotted path to ``c``.
+                imports[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative imports stay package-local; skip
+                continue
+            module = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{module}.{alias.name}" if module else alias.name
+    return imports
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, ``None`` for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def canonical_name(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """Canonical dotted origin of a call target, or ``None`` if unresolvable."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = imports.get(head)
+    if origin is None:
+        return None
+    return f"{origin}.{rest}" if rest else origin
+
+
+def assignment_targets(node: ast.AST) -> list[ast.AST]:
+    """The store targets of an assignment-like statement (flattening tuples)."""
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign, ast.NamedExpr)):
+        targets = [node.target]
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        targets = [node.target]
+    else:
+        return []
+    flat: list[ast.AST] = []
+    stack = targets
+    while stack:
+        target = stack.pop()
+        if isinstance(target, (ast.Tuple, ast.List)):
+            stack.extend(target.elts)
+        elif isinstance(target, ast.Starred):
+            stack.append(target.value)
+        else:
+            flat.append(target)
+    return flat
+
+
+def store_root(node: ast.AST) -> ast.AST:
+    """The root expression of a store target chain (``a`` of ``a.b[c].d``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node
+
+
+def module_name_for(rel_path: str) -> str | None:
+    """Dotted module name of a project file (``src/repro/x/y.py`` → ``repro.x.y``)."""
+    posix = rel_path.replace("\\", "/")
+    marker = posix.rfind("repro/")
+    if marker < 0 or not posix.endswith(".py"):
+        return None
+    dotted = posix[marker:-3].replace("/", ".")
+    if dotted.endswith(".__init__"):
+        dotted = dotted[: -len(".__init__")]
+    return dotted
+
+
+class FunctionIndex:
+    """Top-level functions and class methods of one module, by name."""
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.functions: dict[str, ast.FunctionDef] = {}
+        self.methods: dict[str, dict[str, ast.FunctionDef]] = {}
+        #: Every function definition anywhere in the module (including ones
+        #: nested inside other functions), first definition per name wins.
+        self.all_functions: dict[str, ast.FunctionDef] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.all_functions.setdefault(node.name, node)
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.functions[node.name] = node
+            elif isinstance(node, ast.ClassDef):
+                table: dict[str, ast.FunctionDef] = {}
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        table[item.name] = item
+                self.methods[node.name] = table
+
+    def method_table_containing(self, func: ast.AST) -> dict[str, ast.FunctionDef] | None:
+        """The method table of the class defining ``func``, if any."""
+        for table in self.methods.values():
+            if func in table.values():
+                return table
+        return None

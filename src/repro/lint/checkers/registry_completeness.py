@@ -1,0 +1,179 @@
+"""registry-completeness: every registered component must be reachable.
+
+The registries are the seam between config strings and code: scenarios,
+CLI flags and suite JSON all name components by spec string, and the lazy
+``load_from`` machinery means a broken registration only surfaces when
+someone finally asks for that family.  This checker front-loads the whole
+sweep: import every family, and for each member verify that its name
+round-trips through the spec grammar, its constructor is introspectable
+(that is what powers ``repro list`` and the kwargs validation), none of
+its parameters shadow the spec grammar's reserved keys, and — when it has
+no required parameters — that the bare spec actually constructs it.
+
+Unlike the AST checkers this one executes project code (imports plus
+zero-argument constructors), which is exactly its value: it proves the
+wiring, not just the syntax.  It therefore only runs when the linted tree
+contains ``repro/registry.py`` (a full-package lint), or when a specific
+family list is passed (``--select "registry-completeness:families=demo"``).
+"""
+
+from __future__ import annotations
+
+import inspect
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.lint.base import Checker, Project, SourceFile
+from repro.lint.findings import Finding, Severity, stable_path
+from repro.registry import CHECKERS, Registry, parse_spec
+
+#: Spec-grammar keys a constructor parameter must not shadow: dict specs
+#: route these to the parser, so a same-named parameter is unreachable.
+_RESERVED_PARAMS = frozenset({"name", "kwargs"})
+
+#: Characters that break the ``name:k=v,...`` spec grammar if they appear
+#: in a component name.
+_SPEC_UNSAFE = ":,= \t"
+
+
+@CHECKERS.register("registry-completeness")
+class RegistryCompletenessChecker(Checker):
+    """Prove every registered component is constructible and introspectable."""
+
+    name = "registry-completeness"
+    description = (
+        "every registered component must import, parse as a spec, expose an "
+        "introspectable constructor, and (when argument-free) construct"
+    )
+    rules = {
+        "REG001": "a registry family failed to import its members",
+        "REG002": "a component name does not round-trip the spec grammar",
+        "REG003": "a component constructor is not introspectable",
+        "REG004": "an argument-free component failed to construct",
+        "REG005": "a constructor parameter shadows a reserved spec key",
+    }
+
+    def __init__(self, allow: tuple[str, ...] = (), families: str = "") -> None:
+        super().__init__(allow=allow)
+        self.families = tuple(
+            name.strip() for name in str(families).split(",") if name.strip()
+        )
+
+    def run(self, project: Project) -> Iterator[Finding]:
+        if not self.families and project.find("repro/registry.py") is None:
+            return  # partial-tree lint: skip the dynamic package sweep
+        family_names = self.families or Registry.families()
+        for family_name in family_names:
+            registry = Registry.family(family_name)
+            try:
+                member_names = registry.names()
+            except Exception as exc:  # noqa: BLE001 - any import error counts
+                yield self._registry_finding(
+                    project,
+                    "REG001",
+                    f"family {registry.family!r} failed to load its members: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+                continue
+            for member in member_names:
+                yield from self._check_member(project, registry, member)
+
+    def _check_member(
+        self, project: Project, registry: Registry, member: str
+    ) -> Iterator[Finding]:
+        target = registry.get(member)
+        anchor = self._anchor(project, target)
+        if isinstance(anchor[0], SourceFile) and self.allowed(anchor[0]):
+            return
+        parsed = parse_spec(member) if not set(member) & set(_SPEC_UNSAFE) else None
+        if parsed != (member, {}):
+            yield self._member_finding(
+                anchor,
+                "REG002",
+                f"{registry.family} name {member!r} does not survive the "
+                "spec grammar (reserved characters); it cannot be named "
+                "from a config string",
+            )
+            return
+        try:
+            signature = inspect.signature(target)
+        except (TypeError, ValueError):
+            yield self._member_finding(
+                anchor,
+                "REG003",
+                f"{registry.family} {member!r} has no introspectable "
+                "constructor signature; `repro list` and spec-kwargs "
+                "validation cannot describe it",
+                severity=Severity.WARNING,
+            )
+            return
+        params = registry.describe(member)
+        shadowed = sorted({p.name for p in params} & _RESERVED_PARAMS)
+        if shadowed:
+            yield self._member_finding(
+                anchor,
+                "REG005",
+                f"{registry.family} {member!r} constructor parameter(s) "
+                f"{', '.join(repr(s) for s in shadowed)} shadow reserved "
+                "spec keys and are unreachable from dict specs",
+            )
+        has_star_args = any(
+            p.kind is inspect.Parameter.VAR_POSITIONAL
+            for p in signature.parameters.values()
+        )
+        if any(p.required for p in params) or has_star_args:
+            return  # needs caller-provided arguments; construction not provable
+        try:
+            registry.create(member)
+        except Exception as exc:  # noqa: BLE001 - constructor may raise anything
+            yield self._member_finding(
+                anchor,
+                "REG004",
+                f"{registry.family} {member!r} failed to construct from its "
+                f"bare spec: {type(exc).__name__}: {exc}",
+            )
+
+    # -- finding anchors ----------------------------------------------------
+
+    def _anchor(
+        self, project: Project, target: object
+    ) -> tuple[SourceFile | str, int]:
+        """Locate a component's definition: a project file when in scope."""
+        try:
+            path = inspect.getsourcefile(target)
+            _, lineno = inspect.getsourcelines(target)
+        except (TypeError, OSError):
+            return "repro/registry.py", 1
+        resolved = Path(path).resolve()
+        for source in project.python_files():
+            if source.path.resolve() == resolved:
+                return source, lineno
+        return stable_path(str(path)), lineno
+
+    def _member_finding(
+        self,
+        anchor: tuple[SourceFile | str, int],
+        rule: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        location, lineno = anchor
+        if isinstance(location, SourceFile):
+            return self.finding(location, lineno, rule, message, severity=severity)
+        return Finding(
+            file=location,
+            line=lineno,
+            rule=rule,
+            message=message,
+            checker=self.name,
+            severity=severity,
+        )
+
+    def _registry_finding(self, project: Project, rule: str, message: str) -> Finding:
+        source = project.find("repro/registry.py")
+        if source is not None:
+            return self.finding(source, 1, rule, message)
+        return Finding(
+            file="repro/registry.py", line=1, rule=rule, message=message,
+            checker=self.name,
+        )

@@ -1,0 +1,152 @@
+"""The lint driver: collect sources, run checkers, apply the baseline.
+
+:func:`run_lint` is the programmatic entry point the CLI wraps: it resolves
+the checker selection against the ``checker`` registry family (so unknown
+names fail with the registry's did-you-mean hints), runs every selected
+checker over the collected :class:`~repro.lint.base.Project`, subtracts the
+baseline and returns a :class:`LintReport`.  Renderers for the two output
+formats (human text, machine JSON) live here too.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.base import Checker, Project
+from repro.lint.baseline import DEFAULT_BASELINE, load_baseline
+from repro.lint.findings import Finding
+from repro.registry import CHECKERS
+
+#: Rule id of the engine's own finding for unparseable source files.
+SYNTAX_RULE = "LINT000"
+
+
+def resolve_checkers(
+    select: list[str] | None = None, ignore: list[str] | None = None
+) -> list[Checker]:
+    """Instantiate the selected checkers in registry (alphabetical) order.
+
+    ``select``/``ignore`` entries are registry specs (``"rng-discipline"``
+    or ``"rng-discipline:allow=('repro/legacy/*',)"``); unknown names raise
+    ``ValueError`` with the registry's did-you-mean hint.
+    """
+    ignore_names = set()
+    for spec in ignore or []:
+        # Validate even pure ignores, so a typo'd --ignore fails loudly
+        # instead of silently ignoring nothing.
+        name = spec.split(":", 1)[0].strip()
+        CHECKERS.get(name)
+        ignore_names.add(name)
+    specs = list(select) if select else CHECKERS.names()
+    checkers = []
+    for spec in specs:
+        name = str(spec).split(":", 1)[0].strip()
+        if name in ignore_names:
+            continue
+        checkers.append(CHECKERS.create(spec))
+    return checkers
+
+
+@dataclass
+class LintReport:
+    """Everything a lint run produced, pre-rendering."""
+
+    findings: list[Finding]
+    suppressed: list[Finding] = field(default_factory=list)
+    checkers: list[str] = field(default_factory=list)
+    file_count: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def summary(self) -> str:
+        status = f"{len(self.findings)} finding(s)" if self.findings else "clean"
+        suppressed = (
+            f", {len(self.suppressed)} suppressed by baseline" if self.suppressed else ""
+        )
+        return (
+            f"{status} — {self.file_count} file(s), "
+            f"{len(self.checkers)} checker(s){suppressed}"
+        )
+
+
+def lint_project(
+    project: Project,
+    checkers: list[Checker],
+    baseline: dict[str, str] | None = None,
+) -> LintReport:
+    """Run ``checkers`` over an already-collected project."""
+    findings: list[Finding] = []
+    for source in project.python_files():
+        try:
+            source.tree()
+        except SyntaxError as exc:
+            findings.append(
+                Finding(
+                    file=source.rel,
+                    line=exc.lineno or 1,
+                    rule=SYNTAX_RULE,
+                    message=f"source failed to parse: {exc.msg}",
+                    checker="lint",
+                    context=source.line(exc.lineno or 1),
+                )
+            )
+    for checker in checkers:
+        findings.extend(checker.run(project))
+    findings.sort(key=lambda f: (f.file, f.line, f.col, f.rule))
+    baseline = baseline or {}
+    kept = [f for f in findings if f.fingerprint not in baseline]
+    suppressed = [f for f in findings if f.fingerprint in baseline]
+    return LintReport(
+        findings=kept,
+        suppressed=suppressed,
+        checkers=[checker.name for checker in checkers],
+        file_count=len(project.files),
+    )
+
+
+def run_lint(
+    paths: list[Path | str],
+    *,
+    select: list[str] | None = None,
+    ignore: list[str] | None = None,
+    baseline_path: Path | str | None = None,
+    root: Path | str | None = None,
+) -> LintReport:
+    """Collect ``paths`` and lint them; the CLI's workhorse.
+
+    ``baseline_path=None`` uses the packaged default baseline when present;
+    pass an explicit path to use another file (it must exist).
+    """
+    project = Project.collect(paths, root=root)
+    checkers = resolve_checkers(select, ignore)
+    if baseline_path is None:
+        baseline = load_baseline(DEFAULT_BASELINE) if DEFAULT_BASELINE.exists() else {}
+    else:
+        baseline_path = Path(baseline_path)
+        if not baseline_path.exists():
+            raise ValueError(f"baseline file {baseline_path} does not exist")
+        baseline = load_baseline(baseline_path)
+    return lint_project(project, checkers, baseline)
+
+
+# -- rendering --------------------------------------------------------------
+
+
+def render_text(report: LintReport) -> str:
+    lines = [finding.format() for finding in report.findings]
+    lines.append(report.summary())
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    payload = {
+        "findings": [finding.to_dict() for finding in report.findings],
+        "suppressed": [finding.to_dict() for finding in report.suppressed],
+        "checkers": report.checkers,
+        "files": report.file_count,
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,82 @@
+"""The value objects of the lint subsystem: :class:`Finding` and friends.
+
+A finding is one rule violation at one source location.  Findings are
+*stable*: their :attr:`Finding.fingerprint` is built from a normalised file
+path, the rule id and the offending source line (not the line number), so a
+baseline file keeps suppressing a known, reviewed finding even as unrelated
+edits move it around the file.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; both fail the lint run, warnings are advisory."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+def stable_path(path: str) -> str:
+    """Normalise a reporting path for fingerprints.
+
+    Fingerprints must not depend on where the repository is checked out or
+    which working directory the linter ran from, so the path is cut down to
+    its ``repro/``-rooted suffix when one exists (``src/repro/nn/layers.py``
+    and ``/ci/build/src/repro/nn/layers.py`` fingerprint identically).
+    Files outside the package (test fixtures) fall back to their basename.
+    """
+    posix = path.replace("\\", "/")
+    if posix.startswith("repro/"):
+        return posix
+    marker = posix.rfind("/repro/")
+    if marker >= 0:
+        return posix[marker + 1 :]
+    return posix.rsplit("/", 1)[-1]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    file: str
+    line: int
+    rule: str
+    message: str
+    checker: str
+    severity: Severity = Severity.ERROR
+    col: int = 0
+    #: The stripped source line the finding points at; the location-stable
+    #: component of :attr:`fingerprint`.
+    context: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Edit-stable identity of this finding (the baseline key)."""
+        return f"{stable_path(self.file)}::{self.rule}::{self.context}"
+
+    def format(self) -> str:
+        """One-line human-readable rendering (``file:line:col: RULE ...``)."""
+        return (
+            f"{self.file}:{self.line}:{self.col}: {self.rule} "
+            f"[{self.checker}/{self.severity.value}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-able form (what ``repro lint --format json`` emits)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "checker": self.checker,
+            "severity": self.severity.value,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

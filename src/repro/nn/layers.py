@@ -21,6 +21,24 @@ import numpy as np
 
 from repro.nn.init import glorot_uniform, he_uniform
 
+#: Seed of the generator a layer builds when the caller passes neither a
+#: Generator nor a seed.  Constructing a layer must be deterministic — an
+#: unseeded ``default_rng()`` here would draw OS entropy and break the
+#: bit-identical-per-seed guarantee (and the rng-discipline lint rule).
+_DEFAULT_INIT_SEED = 0
+
+
+def _resolve_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    """Normalise a layer's ``rng`` argument into a deterministic Generator.
+
+    An explicit ``None`` (or omitted argument) falls back to a fixed-seed
+    generator rather than OS entropy; integers seed a fresh generator (note
+    ``seed=0`` is a valid seed, not a missing one).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(_DEFAULT_INIT_SEED if rng is None else rng)
+
 
 class Layer:
     """Base class for all layers.
@@ -51,11 +69,16 @@ class Layer:
 class Linear(Layer):
     """Fully connected layer ``y = x W + b``."""
 
-    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator | None = None) -> None:
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ValueError("Linear layer dimensions must be positive")
-        rng = rng or np.random.default_rng()
+        rng = _resolve_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.params["W"] = glorot_uniform((in_features, out_features), rng)
@@ -151,12 +174,14 @@ class Flatten(Layer):
 class Dropout(Layer):
     """Inverted dropout; identity at evaluation time."""
 
-    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None) -> None:
+    def __init__(
+        self, p: float = 0.5, rng: np.random.Generator | int | None = None
+    ) -> None:
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValueError("dropout probability must be in [0, 1)")
         self.p = p
-        self._rng = rng or np.random.default_rng()
+        self._rng = _resolve_rng(rng)
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
@@ -209,12 +234,12 @@ class Conv2d(Layer):
         kernel_size: int,
         stride: int = 1,
         padding: int = 0,
-        rng: np.random.Generator | None = None,
+        rng: np.random.Generator | int | None = None,
     ) -> None:
         super().__init__()
         if kernel_size <= 0 or stride <= 0 or padding < 0:
             raise ValueError("invalid convolution geometry")
-        rng = rng or np.random.default_rng()
+        rng = _resolve_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size

@@ -402,6 +402,17 @@ BACKENDS = Registry(
     ),
 )
 
+CHECKERS = Registry(
+    "checker",
+    load_from=(
+        "repro.lint.checkers.rng_discipline",
+        "repro.lint.checkers.shared_state",
+        "repro.lint.checkers.fold_determinism",
+        "repro.lint.checkers.wire_protocol",
+        "repro.lint.checkers.registry_completeness",
+    ),
+)
+
 __all__ = [
     "ParamSpec",
     "Registry",
@@ -416,4 +427,5 @@ __all__ = [
     "TRIGGERS",
     "DEFENSES",
     "BACKENDS",
+    "CHECKERS",
 ]

@@ -57,7 +57,7 @@ class TestBuildFederatedDataset:
     def test_seed_reproducibility(self, femnist_generator):
         a = build_federated_dataset(femnist_generator, 4, 20, alpha=0.5, seed=3)
         b = build_federated_dataset(femnist_generator, 4, 20, alpha=0.5, seed=3)
-        for ca, cb in zip(a.clients, b.clients):
+        for ca, cb in zip(a.clients, b.clients, strict=True):
             np.testing.assert_allclose(ca.train.x, cb.train.x)
             np.testing.assert_array_equal(ca.class_counts, cb.class_counts)
 

@@ -34,7 +34,7 @@ class TestDirichletPartition:
     def test_counts_sum_to_client_size(self, rng):
         sizes = np.array([30, 50, 20])
         counts = dirichlet_label_partition(sizes, num_classes=4, alpha=0.5, rng=rng)
-        for size, count in zip(sizes, counts):
+        for size, count in zip(sizes, counts, strict=True):
             assert count.sum() == size
 
     def test_small_alpha_is_more_skewed_than_large_alpha(self):
@@ -64,7 +64,7 @@ class TestDirichletPartition:
         rng = np.random.default_rng(seed)
         sizes = np.array([25, 40, 10])
         counts = dirichlet_label_partition(sizes, num_classes, alpha, rng)
-        for size, count in zip(sizes, counts):
+        for size, count in zip(sizes, counts, strict=True):
             assert count.min() >= 0
             assert count.sum() == size
             assert count.shape == (num_classes,)

@@ -7,19 +7,19 @@ import pytest
 
 import repro.defenses  # noqa: F401 - populate the defense registry
 from repro.defenses.base import AggregationContext, Aggregator, MeanAggregator, clip_to_norm
-from repro.defenses.registry import make_defense
-from repro.federated.engine.plan import ClientUpdate
-from repro.registry import DEFENSES
 from repro.defenses.crfl import CRFL
 from repro.defenses.dp import DPAggregator
 from repro.defenses.flare import FLARE
 from repro.defenses.krum import Krum
 from repro.defenses.median import CoordinateMedian
 from repro.defenses.norm_bound import NormBound
+from repro.defenses.registry import make_defense
 from repro.defenses.rlr import RobustLearningRate
 from repro.defenses.signsgd import SignSGDAggregator
 from repro.defenses.trimmed_mean import TrimmedMean
 from repro.defenses.weighted_mean import WeightedMeanAggregator
+from repro.federated.engine.plan import ClientUpdate
+from repro.registry import DEFENSES
 
 
 @pytest.fixture()
@@ -183,7 +183,7 @@ class TestWeightedMean:
         weights = [3, 1, 4, 1, 5, 9]
         out = self._stream_weighted(benign_updates, weights)
         expected = (
-            np.sum([w * u for w, u in zip(weights, benign_updates)], axis=0)
+            np.sum([w * u for w, u in zip(weights, benign_updates, strict=True)], axis=0)
             / sum(weights)
         )
         np.testing.assert_allclose(out, expected)

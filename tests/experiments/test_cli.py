@@ -165,7 +165,7 @@ class TestSweep:
         assert len(payload["results"]) == 2
         reloaded = [ExperimentResult.from_dict(r) for r in payload["results"]]
         assert [r.config.defense for r in reloaded] == ["mean", "median"]
-        for result, raw in zip(reloaded, payload["results"]):
+        for result, raw in zip(reloaded, payload["results"], strict=True):
             assert result.to_dict() == raw
             assert result.summary()["rounds"] == 1.0
 

@@ -92,7 +92,7 @@ class TestRun:
         suite = Suite.grid(tiny_scenario(), attack=["dpois", "mrepl"])
         shared = suite.run(reuse_datasets=True)
         rebuilt = suite.run(reuse_datasets=False)
-        for a, b in zip(shared, rebuilt):
+        for a, b in zip(shared, rebuilt, strict=True):
             assert a.result.history.records == b.result.history.records
         assert rebuilt[0].result.extras["dataset"] is not rebuilt[1].result.extras["dataset"]
 
@@ -101,7 +101,7 @@ class TestRun:
         serial = suite.run()
         threaded = suite.run(cell_workers=3)
         assert [cr.scenario.attack for cr in threaded] == ["none", "dpois", "mrepl"]
-        for a, b in zip(serial, threaded):
+        for a, b in zip(serial, threaded, strict=True):
             assert a.result.history.records == b.result.history.records
 
     def test_backend_fanout_override(self):

@@ -195,7 +195,7 @@ class TestWireDtype:
         assert [r["sampled_clients"] for r in records] == [
             r["sampled_clients"] for r in reference
         ]
-        for got, want in zip(records, reference):
+        for got, want in zip(records, reference, strict=True):
             np.testing.assert_allclose(
                 got["mean_benign_loss"], want["mean_benign_loss"], rtol=1e-4
             )
@@ -205,7 +205,7 @@ class TestWireDtype:
         # fp32 really was lossy somewhere (guards against silently running f64).
         assert any(
             got["update_norm"] != want["update_norm"]
-            for got, want in zip(records, reference)
+            for got, want in zip(records, reference, strict=True)
         )
 
     def test_scenario_spec_routes_wire_dtype(self):

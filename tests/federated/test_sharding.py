@@ -31,7 +31,7 @@ class TestPlanShards:
         slices = plan_shards(103, 4)
         assert slices[0].start == 0
         assert slices[-1].stop == 103
-        for prev, nxt in zip(slices, slices[1:]):
+        for prev, nxt in zip(slices, slices[1:], strict=False):
             assert prev.stop == nxt.start
 
     def test_sizes_differ_by_at_most_one(self):

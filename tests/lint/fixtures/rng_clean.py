@@ -1,0 +1,32 @@
+"""Fixture: seed-disciplined randomness; no rng-discipline rule fires."""
+
+import time
+
+import numpy as np
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def typed_stream(seed):
+    return np.random.Generator(np.random.PCG64(seed))
+
+
+def draw(shape, rng):
+    return rng.normal(size=shape)
+
+
+class Sampler:
+    def random(self):
+        return 0.5
+
+
+def same_named_method_is_fine():
+    # ``.random()`` on a non-imported object must not trip RNG003.
+    return Sampler().random()
+
+
+def interval_clocks_are_fine():
+    start = time.perf_counter()
+    return time.monotonic() - start

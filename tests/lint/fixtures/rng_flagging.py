@@ -1,0 +1,16 @@
+"""Fixture: every rng-discipline rule fires in this file."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+
+def entropy_soup(shape):
+    rng = np.random.default_rng()  # RNG001: unseeded
+    noise = np.random.normal(size=shape)  # RNG002: global numpy state
+    jitter = random.random()  # RNG003: stdlib random
+    token = os.urandom(8)  # RNG004: OS entropy
+    stamp = time.time()  # RNG005: wall clock
+    return rng.normal(size=shape) + noise + jitter + len(token) + stamp

@@ -1,0 +1,32 @@
+"""Fixture: the sanctioned off-driver patterns; no shared-state rule fires."""
+
+import threading
+
+
+class Backend:
+    def run(self, executor, tasks):
+        # Driver-side self writes are fine; only dispatched code is checked.
+        self.last_count = len(tasks)
+        futures = [executor.submit(self._work, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def _work(self, task):
+        local_total = 0
+        for item in task:
+            local_total += item  # local accumulation: allowed
+        return local_total
+
+
+def run_shards(results, tasks):
+    def _worker(index, task):
+        results[index] = task * 2  # per-slot write into a caller-owned arg
+
+    threads = [
+        threading.Thread(target=_worker, args=(i, task))
+        for i, task in enumerate(tasks)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results

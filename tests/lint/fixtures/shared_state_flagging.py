@@ -1,0 +1,42 @@
+"""Fixture: every backend-shared-state rule fires in this file."""
+
+import threading
+
+_CACHE = None
+
+
+def _pool_worker(task):
+    global _CACHE
+    _CACHE = task  # SHARE002: module-global write from pool.map target
+    return task
+
+
+def run_pool(pool, tasks):
+    return list(pool.map(_pool_worker, tasks))
+
+
+class Backend:
+    def __init__(self):
+        self.latest = None
+        self.counts = {}
+
+    def run(self, executor, tasks):
+        return [executor.submit(self._work, task) for task in tasks]
+
+    def _work(self, task):
+        self.latest = task  # SHARE001: self write from submitted method
+        self.counts[task] = 1  # SHARE001: self container write
+        return task
+
+
+def run_threads(tasks):
+    total = 0
+
+    def _tally(task):
+        nonlocal total
+        total += task  # SHARE003: enclosing-scope write from Thread target
+
+    thread = threading.Thread(target=_tally, args=(tasks[0],))
+    thread.start()
+    thread.join()
+    return total

@@ -1,0 +1,96 @@
+"""CLI surface of ``repro lint``: exit codes, formats, baseline flags."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_flagging_fixture_exits_one(capsys):
+    code = main(
+        ["lint", "--select", "rng-discipline", str(FIXTURES / "rng_flagging.py")]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "RNG001" in out
+
+
+def test_clean_fixture_exits_zero(capsys):
+    code = main(
+        ["lint", "--select", "rng-discipline", str(FIXTURES / "rng_clean.py")]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "clean" in out
+
+
+def test_json_format(capsys):
+    code = main(
+        [
+            "lint",
+            "--select",
+            "rng-discipline",
+            "--format",
+            "json",
+            str(FIXTURES / "rng_flagging.py"),
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["checkers"] == ["rng-discipline"]
+
+
+def test_misspelled_checker_exits_two_with_hint(capsys):
+    code = main(["lint", "--select", "rng-dicipline", str(FIXTURES)])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "did you mean 'rng-discipline'" in err
+
+
+def test_list_checkers(capsys):
+    assert main(["lint", "--list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("rng-discipline", "wire-protocol-versioning", "RNG001", "WIRE002"):
+        assert name in out
+
+
+def test_write_baseline_round_trip(tmp_path, capsys):
+    baseline = tmp_path / "baseline.json"
+    target = str(FIXTURES / "rng_flagging.py")
+    code = main(
+        [
+            "lint",
+            "--select",
+            "rng-discipline",
+            "--baseline",
+            str(baseline),
+            "--write-baseline",
+            target,
+        ]
+    )
+    assert code == 0
+    assert baseline.exists()
+    assert "suppression(s)" in capsys.readouterr().out
+    code = main(
+        [
+            "lint",
+            "--select",
+            "rng-discipline",
+            "--baseline",
+            str(baseline),
+            target,
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "suppressed by baseline" in out
+
+
+def test_list_family_includes_checkers(capsys):
+    assert main(["list", "checkers"]) == 0
+    out = capsys.readouterr().out
+    assert "rng-discipline" in out

@@ -1,0 +1,148 @@
+"""Engine-level tests: selection, baseline workflow, rendering, fingerprints."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.base import Project, SourceFile
+from repro.lint.baseline import load_baseline, write_baseline
+from repro.lint.engine import (
+    SYNTAX_RULE,
+    lint_project,
+    render_json,
+    render_text,
+    resolve_checkers,
+    run_lint,
+)
+from repro.lint.findings import Finding, stable_path
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+ALL_CHECKERS = {
+    "backend-shared-state",
+    "fold-determinism",
+    "registry-completeness",
+    "rng-discipline",
+    "wire-protocol-versioning",
+}
+
+
+class TestResolveCheckers:
+    def test_default_selects_every_checker(self):
+        assert {c.name for c in resolve_checkers()} == ALL_CHECKERS
+
+    def test_select_subset(self):
+        checkers = resolve_checkers(select=["rng-discipline"])
+        assert [c.name for c in checkers] == ["rng-discipline"]
+
+    def test_ignore_removes(self):
+        checkers = resolve_checkers(ignore=["rng-discipline"])
+        assert {c.name for c in checkers} == ALL_CHECKERS - {"rng-discipline"}
+
+    def test_select_spec_passes_kwargs(self):
+        (checker,) = resolve_checkers(
+            select=["rng-discipline:allow=('repro/legacy/*',)"]
+        )
+        assert checker.allow == ("repro/legacy/*",)
+
+    def test_unknown_name_gets_did_you_mean(self):
+        with pytest.raises(ValueError, match="did you mean 'rng-discipline'"):
+            resolve_checkers(select=["rng-dicipline"])
+        with pytest.raises(ValueError, match="unknown checker"):
+            resolve_checkers(ignore=["rng-dicipline"])
+
+
+class TestBaselineWorkflow:
+    def test_round_trip_suppresses_known_findings(self, tmp_path):
+        report = run_lint(
+            [FIXTURES / "rng_flagging.py"], select=["rng-discipline"]
+        )
+        assert report.exit_code == 1 and report.findings
+        baseline = tmp_path / "baseline.json"
+        count = write_baseline(baseline, report.findings, {})
+        assert count == len(report.findings)
+        again = run_lint(
+            [FIXTURES / "rng_flagging.py"],
+            select=["rng-discipline"],
+            baseline_path=baseline,
+        )
+        assert again.exit_code == 0
+        assert len(again.suppressed) == count
+        assert "suppressed by baseline" in again.summary()
+
+    def test_baseline_survives_unrelated_edits(self):
+        # Fingerprints key on the source line, not the line number.
+        finding = Finding(
+            file="src/repro/demo.py", line=10, rule="RNG001",
+            message="m", checker="rng-discipline", context="rng = default_rng()",
+        )
+        moved = Finding(
+            file="/elsewhere/checkout/src/repro/demo.py", line=99, rule="RNG001",
+            message="m", checker="rng-discipline", context="rng = default_rng()",
+        )
+        assert finding.fingerprint == moved.fingerprint
+
+    def test_explicit_missing_baseline_is_an_error(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            run_lint(
+                [FIXTURES / "rng_clean.py"], baseline_path="/no/such/baseline.json"
+            )
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"version": 999}', encoding="utf-8")
+        with pytest.raises(ValueError, match="version-1"):
+            load_baseline(bad)
+
+
+class TestLintProject:
+    def test_syntax_error_reported_once(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def nope(:\n", encoding="utf-8")
+        project = Project.collect([broken], root=tmp_path)
+        report = lint_project(project, resolve_checkers())
+        assert [f.rule for f in report.findings] == [SYNTAX_RULE]
+
+    def test_missing_path_is_an_error(self):
+        with pytest.raises(ValueError, match="does not exist"):
+            Project.collect(["/no/such/lint/path"])
+
+    def test_findings_sorted_by_location(self):
+        report = run_lint([FIXTURES / "rng_flagging.py"], select=["rng-discipline"])
+        locations = [(f.file, f.line, f.col) for f in report.findings]
+        assert locations == sorted(locations)
+
+
+class TestRendering:
+    def test_text_output_lists_findings_and_summary(self):
+        report = run_lint([FIXTURES / "rng_flagging.py"], select=["rng-discipline"])
+        text = render_text(report)
+        assert "RNG001" in text and "rng_flagging.py" in text
+        assert report.summary() in text
+
+    def test_json_output_is_machine_readable(self):
+        report = run_lint([FIXTURES / "rng_flagging.py"], select=["rng-discipline"])
+        payload = json.loads(render_json(report))
+        assert payload["checkers"] == ["rng-discipline"]
+        assert payload["files"] == 1
+        rules = {entry["rule"] for entry in payload["findings"]}
+        assert "RNG001" in rules
+        assert all("fingerprint" in entry for entry in payload["findings"])
+
+
+class TestStablePaths:
+    def test_checkout_independent(self):
+        assert stable_path("src/repro/nn/layers.py") == "repro/nn/layers.py"
+        assert (
+            stable_path("/ci/build/src/repro/nn/layers.py") == "repro/nn/layers.py"
+        )
+
+    def test_outside_package_falls_back_to_basename(self):
+        assert stable_path("/tmp/fixtures/rng_clean.py") == "rng_clean.py"
+
+    def test_source_file_from_source_for_fixtures(self):
+        source = SourceFile.from_source("x = 1\n", rel="snippet.py")
+        assert source.tree().body and source.line(1) == "x = 1"

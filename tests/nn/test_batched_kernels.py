@@ -134,7 +134,7 @@ class TestBatchedSGD:
         for c in range(CLIENTS):
             model = make_mlp(5, (4,), 3, seed=1)
             for (_, param), (_, plane) in zip(
-                model.named_parameters(), batched.named_parameters()
+                model.named_parameters(), batched.named_parameters(), strict=True
             ):
                 param[...] = plane[c]
             serial_models.append(model)
@@ -160,7 +160,7 @@ class TestBatchedSGD:
                 opts[c].step()
         for c, model in enumerate(serial_models):
             for (_, param), (_, plane) in zip(
-                model.named_parameters(), batched.named_parameters()
+                model.named_parameters(), batched.named_parameters(), strict=True
             ):
                 np.testing.assert_array_equal(param, plane[c])
 

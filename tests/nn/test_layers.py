@@ -266,3 +266,43 @@ class TestMaxPool2d:
         pool = MaxPool2d(3)
         with pytest.raises(ValueError):
             pool.forward(rng.normal(size=(1, 1, 2, 4)))
+
+
+class TestDeterministicConstruction:
+    """Layer construction must never draw OS entropy (rng-discipline RNG001)."""
+
+    def test_default_construction_is_deterministic(self):
+        a, b = Linear(4, 3), Linear(4, 3)
+        np.testing.assert_array_equal(a.params["W"], b.params["W"])
+        c, d = Conv2d(2, 3, 3), Conv2d(2, 3, 3)
+        np.testing.assert_array_equal(c.params["W"], d.params["W"])
+
+    def test_integer_seed_matches_explicit_generator(self):
+        # Seed 0 is a valid seed, not a missing one (the old ``rng or
+        # default_rng()`` fallback treated it as falsy).
+        np.testing.assert_array_equal(
+            Linear(4, 3, rng=0).params["W"],
+            Linear(4, 3, rng=np.random.default_rng(0)).params["W"],
+        )
+        np.testing.assert_array_equal(
+            Conv2d(2, 3, 3, rng=7).params["W"],
+            Conv2d(2, 3, 3, rng=np.random.default_rng(7)).params["W"],
+        )
+
+    def test_distinct_seeds_differ(self):
+        a = Linear(4, 3, rng=1)
+        b = Linear(4, 3, rng=2)
+        assert not np.array_equal(a.params["W"], b.params["W"])
+
+    def test_dropout_default_rng_is_deterministic(self):
+        x = np.ones((4, 5))
+        first = Dropout(0.5).forward(x, training=True)
+        second = Dropout(0.5).forward(x, training=True)
+        np.testing.assert_array_equal(first, second)
+
+    def test_passed_generator_still_honoured(self, rng):
+        state = rng.bit_generator.state
+        a = Linear(4, 3, rng=rng)
+        rng.bit_generator.state = state
+        b = Linear(4, 3, rng=rng)
+        np.testing.assert_array_equal(a.params["W"], b.params["W"])

@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.nn.model import Sequential, make_lenet, make_mlp, make_text_head
 from repro.nn.layers import Linear, ReLU
+from repro.nn.model import Sequential, make_lenet, make_mlp, make_text_head
 from repro.nn.serialization import flatten_params, parameter_count
 
 
