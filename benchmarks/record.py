@@ -32,17 +32,23 @@ from pathlib import Path
 
 
 def distill(raw: dict) -> list[dict]:
-    """Reduce a pytest-benchmark report to (op, median, param_dim) rows."""
+    """Reduce a pytest-benchmark report to (op, median, param_dim) rows.
+
+    Benchmarks that tag ``extra_info["ledger_bytes"]`` (runs carrying a
+    communication ledger) keep that total in the distilled record, so the
+    perf trajectory tracks wire volume alongside wall time.
+    """
     records = []
     for bench in raw.get("benchmarks", []):
         extra = bench.get("extra_info", {})
-        records.append(
-            {
-                "op": bench["name"],
-                "median": bench["stats"]["median"],
-                "param_dim": extra.get("param_dim"),
-            }
-        )
+        record = {
+            "op": bench["name"],
+            "median": bench["stats"]["median"],
+            "param_dim": extra.get("param_dim"),
+        }
+        if extra.get("ledger_bytes") is not None:
+            record["ledger_bytes"] = extra["ledger_bytes"]
+        records.append(record)
     return sorted(records, key=lambda r: r["op"])
 
 
@@ -114,12 +120,22 @@ def main_compare(argv: list[str]) -> int:
         help="baseline BENCH_<pr>.json (default: highest-numbered committed one)",
     )
     parser.add_argument(
+        "--warn-pct",
+        type=float,
+        default=25.0,
+        help="slowdown percentage that triggers a warning (default 25)",
+    )
+    parser.add_argument(
         "--threshold",
         type=float,
-        default=0.25,
-        help="relative slowdown that triggers a warning (default 0.25 = +25%%)",
+        default=None,
+        help="deprecated ratio form of --warn-pct (0.25 = +25%%); wins when "
+        "both are given",
     )
     args = parser.parse_args(argv)
+    threshold = (
+        args.threshold if args.threshold is not None else args.warn_pct / 100.0
+    )
 
     fresh = distill(json.loads(args.report.read_text()))
     if args.against is not None:
@@ -141,14 +157,14 @@ def main_compare(argv: list[str]) -> int:
         print(f"baseline {label} records no benchmarks; nothing to compare, skipping")
         return 0
 
-    rows, regressions = compare(fresh, baseline_records, args.threshold)
+    rows, regressions = compare(fresh, baseline_records, threshold)
     print(f"Benchmark deltas vs {label} "
           f"(baseline cpu_count={baseline.get('cpu_count')}):")
     print(_format_rows(rows))
     for regression in regressions:
         print(f"WARNING: perf regression {regression}")
     if not regressions:
-        print(f"No regressions above {args.threshold:.0%}.")
+        print(f"No regressions above {threshold:.0%}.")
     # Deliberately non-fatal: shared-runner medians are too noisy to gate on.
     return 0
 

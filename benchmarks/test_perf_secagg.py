@@ -1,0 +1,86 @@
+"""Overhead of pairwise-masked secure aggregation.
+
+Runs the same seeded federated workload (full participation, a
+≥1e5-parameter MLP) with secure aggregation off and on, asserting the
+histories are bit-identical — masking is pure obfuscation, never a numeric
+change — and recording the masked run's latency and its communication-ledger
+byte total into the BENCH trajectory.  The interesting number is the
+relative overhead: mask derivation is one seeded RNG stream per client pair
+per round, O(participants · param_dim) words, all in NumPy.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments.results import format_table
+from repro.experiments.scenario import Scenario
+from repro.federated.client import LocalTrainingConfig
+
+#: 256·384 + 384 + 384·10 + 10 = 102,538 parameters — above the 1e5 floor.
+HIDDEN = (384,)
+PARAM_DIM = 256 * HIDDEN[0] + HIDDEN[0] + HIDDEN[0] * 10 + 10
+
+
+def _scenario() -> Scenario:
+    return Scenario(
+        dataset="femnist",
+        num_clients=12,
+        samples_per_client=16,
+        num_classes=10,
+        image_size=16,
+        hidden=HIDDEN,
+        rounds=2,
+        sample_rate=1.0,
+        attack="none",
+        local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
+        seed=9,
+        max_test_samples=8,
+    )
+
+
+def test_secagg_masking_overhead(benchmark):
+    """plaintext vs masked mean aggregation; histories bit-identical."""
+    base = _scenario()
+    assert PARAM_DIM >= 100_000
+
+    def sweep():
+        rows = []
+        histories = {}
+        ledgers = {}
+        for label, secagg in (("plaintext", False), ("secagg", True)):
+            scenario = base.with_overrides(secure_aggregation=secagg)
+            start = time.perf_counter()
+            result = scenario.run()
+            elapsed = time.perf_counter() - start
+            histories[label] = result.history.to_dict()["records"]
+            ledgers[label] = result.ledger.totals()
+            rows.append(
+                {
+                    "mode": label,
+                    "seconds": round(elapsed, 3),
+                    "s_per_round": round(elapsed / base.rounds, 3),
+                    "ledger_bytes": ledgers[label]["bytes"],
+                }
+            )
+        return rows, histories, ledgers
+
+    rows, histories, ledgers = run_once(benchmark, sweep)
+    assert histories["secagg"] == histories["plaintext"], (
+        f"masking changed the history at param_dim={PARAM_DIM}"
+    )
+    # Masking adds zero wire volume: same frames, same payload bytes (the
+    # only delta is the 'masked' flag in each update frame's JSON envelope).
+    assert ledgers["secagg"]["payload_bytes"] == ledgers["plaintext"]["payload_bytes"]
+
+    print(
+        f"\nSecagg overhead — {base.num_clients} clients, "
+        f"param_dim={PARAM_DIM}, {os.cpu_count()} cpus"
+    )
+    print(format_table(rows))
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["param_dim"] = PARAM_DIM
+    benchmark.extra_info["ledger_bytes"] = ledgers["secagg"]["bytes"]
+    benchmark.extra_info["cpu_count"] = os.cpu_count()

@@ -1,10 +1,11 @@
 """``python -m repro`` — run scenarios and sweeps without writing Python.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro list [family]        # registered components + params
     python -m repro run scenario.json    # run one scenario
     python -m repro sweep suite.json     # run a sweep suite
+    python -m repro ledger results.json  # communication-ledger summary table
     python -m repro worker --listen :0   # standalone distributed worker
     python -m repro lint [paths]         # project-specific static analysis
 
@@ -58,6 +59,12 @@ def _add_run_overrides(parser: argparse.ArgumentParser) -> None:
         help="split the streaming fold across this many parameter shards "
         "(shard-capable defenses only; others keep the single fold)",
     )
+    parser.add_argument(
+        "--secagg",
+        action="store_true",
+        help="run under pairwise-masked secure aggregation (server-blind "
+        "defenses only; histories stay bit-identical to plaintext)",
+    )
     parser.add_argument("--out", type=Path, help="write results as JSON")
 
 
@@ -89,14 +96,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
         row = {registry.family: name, "params": params or "(none)"}
         if registry is DEFENSES:
             # Aggregation capabilities: which update path(s) the defense can
-            # take (streaming O(param_dim) fold, sharded worker-pool fold).
+            # take (streaming O(param_dim) fold, sharded worker-pool fold),
+            # and whether it runs under secure aggregation (server-blind =
+            # its math never inspects an individual client update).
             component = registry.get(name)
             caps = [
                 flag
                 for flag in ("streaming", "shardable")
                 if getattr(component, flag, False)
-            ]
-            row["caps"] = ", ".join(caps) or "buffered"
+            ] or ["buffered"]
+            if not getattr(component, "requires_plaintext_updates", False):
+                caps.append("server-blind")
+            row["caps"] = ", ".join(caps)
         elif registry is BACKENDS:
             # Execution capabilities: does iter_updates stream (vs per-round
             # barrier), does client work run in separate processes, can the
@@ -126,6 +137,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["streaming"] = args.streaming
     if args.shards is not None:
         overrides["num_shards"] = args.shards
+    if args.secagg:
+        overrides["secure_aggregation"] = True
     if overrides:
         scenario = scenario.with_overrides(**overrides)
     label = scenario.name or Path(args.scenario).stem
@@ -210,6 +223,44 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    """Summarise the communication ledger of a saved results JSON."""
+    from repro.federated.engine.ledger import CommunicationLedger
+
+    data = json.loads(Path(args.results).read_text())
+    # Accept a bare ledger dict too (e.g. extracted by other tooling).
+    ledger_data = data.get("ledger") if "ledger" in data else data
+    if not isinstance(ledger_data, dict) or "entries" not in ledger_data:
+        print(
+            f"error: {args.results} carries no communication ledger "
+            "(re-run with a version that records one)",
+            file=sys.stderr,
+        )
+        return 2
+    ledger = CommunicationLedger.from_dict(ledger_data)
+    rows = [
+        {
+            "round": row["round"],
+            "channel": row["channel"],
+            "dir": row["direction"],
+            "links": row["links"],
+            "frames": row["frames"],
+            "header_B": row["header_bytes"],
+            "payload_B": row["payload_bytes"],
+        }
+        for row in ledger.round_rows()
+    ]
+    print(format_table(rows))
+    totals = ledger.totals()
+    dtypes = ", ".join(f"{ch}={dt}" for ch, dt in sorted(ledger.dtypes.items()))
+    print(
+        f"total: {totals['frames']} frames, {totals['bytes']} bytes "
+        f"({totals['header_bytes']} header + {totals['payload_bytes']} payload)"
+        + (f"; wire dtypes: {dtypes}" if dtypes else "")
+    )
+    return 0
+
+
 def _cmd_worker(args: argparse.Namespace) -> int:
     # Imported lazily: the worker pulls in the whole experiments stack.
     from repro.federated.engine.distributed.worker import run_worker
@@ -256,6 +307,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("--out", type=Path, help="write results as JSON")
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    ledger_parser = sub.add_parser(
+        "ledger",
+        help="summarise the communication ledger of a results JSON",
+        description="Render the per-round frame/byte table of the "
+        "communication ledger embedded in a `repro run --out` results file "
+        "(channel 'model' = logical client-server traffic on any backend; "
+        "'wire' = actual coordinator-worker frames of backend='distributed').",
+    )
+    ledger_parser.add_argument(
+        "results", type=Path, help="path to a results JSON with a ledger"
+    )
+    ledger_parser.set_defaults(func=_cmd_ledger)
 
     worker_parser = sub.add_parser(
         "worker",

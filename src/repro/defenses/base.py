@@ -147,6 +147,18 @@ class Aggregator:
     #: aggregate call raises.
     streaming_only = False
 
+    #: True when the defense's math inspects individual updates *across*
+    #: clients — pairwise distances (Krum), coordinate statistics (median,
+    #: trimmed mean), anomaly scores (detector, FLARE), per-client sign
+    #: votes weighed against the cohort (RLR) — and therefore cannot run
+    #: under secure aggregation, where the server only sees the masked sum.
+    #: Per-update-*local* transforms (norm clipping, per-update DP noise
+    #: prep, taking signs) do not count: a real deployment pushes that work
+    #: to the client before masking, so clip/sign-then-sum defenses stay
+    #: server-blind.  ``repro list defenses`` surfaces the complement of
+    #: this flag as the ``server-blind`` capability.
+    requires_plaintext_updates = False
+
     def __init_subclass__(cls, **kwargs) -> None:
         super().__init_subclass__(**kwargs)
         # A subclass that replaces the matrix math without touching the

@@ -23,6 +23,7 @@ class StatisticalDetector(Aggregator):
     """Filter updates flagged as outliers on norm or angle, then average."""
 
     name = "detector"
+    requires_plaintext_updates = True  # per-client anomaly scores
 
     def __init__(self, use_norm: bool = True, use_angle: bool = True) -> None:
         if not use_norm and not use_angle:

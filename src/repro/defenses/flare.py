@@ -20,6 +20,7 @@ class FLARE(Aggregator):
     """Trust-score-weighted aggregation based on pairwise update distances."""
 
     name = "flare"
+    requires_plaintext_updates = True  # per-client latent-space probes
 
     def __init__(self, temperature: float = 1.0) -> None:
         if temperature <= 0:

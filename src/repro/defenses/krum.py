@@ -21,6 +21,7 @@ class Krum(Aggregator):
     """Krum (``multi=1``) / Multi-Krum (``multi>1``) aggregation."""
 
     name = "krum"
+    requires_plaintext_updates = True  # pairwise update distances
 
     def __init__(self, num_malicious: int = 1, multi: int = 1) -> None:
         if num_malicious < 0:

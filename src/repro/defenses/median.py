@@ -13,6 +13,7 @@ class CoordinateMedian(Aggregator):
     """Element-wise median of the client updates."""
 
     name = "median"
+    requires_plaintext_updates = True  # cross-client coordinate statistics
 
     def aggregate(self, updates, global_params, ctx) -> np.ndarray:
         return np.median(updates, axis=0)

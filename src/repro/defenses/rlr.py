@@ -21,6 +21,7 @@ class RobustLearningRate(Aggregator):
     """Sign-agreement-based per-coordinate learning-rate flipping."""
 
     name = "rlr"
+    requires_plaintext_updates = True  # cohort-wide per-coordinate sign votes
 
     def __init__(self, threshold: int | None = None, threshold_fraction: float = 0.6) -> None:
         if threshold is not None and threshold <= 0:

@@ -17,6 +17,7 @@ class TrimmedMean(Aggregator):
     """Coordinate-wise trimmed mean."""
 
     name = "trimmed_mean"
+    requires_plaintext_updates = True  # cross-client coordinate statistics
 
     def __init__(self, trim_fraction: float = 0.2) -> None:
         if not 0.0 <= trim_fraction < 0.5:

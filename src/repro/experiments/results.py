@@ -6,6 +6,7 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.federated.engine.ledger import CommunicationLedger
 from repro.federated.history import TrainingHistory
 from repro.metrics.accuracy import ClientEvaluation
 from repro.registry import reject_unknown_keys
@@ -19,7 +20,9 @@ class ExperimentResult:
     :class:`~repro.experiments.scenario.Scenario` and
     :class:`~repro.federated.history.TrainingHistory`), except for
     ``extras`` — live objects (dataset, server, attack) that exist only in
-    the producing process and reload as an empty dict.
+    the producing process and reload as an empty dict.  ``ledger`` is the
+    run's :class:`~repro.federated.engine.ledger.CommunicationLedger`
+    (``None`` for results produced before ledgers existed).
     """
 
     config: object
@@ -27,6 +30,7 @@ class ExperimentResult:
     history: TrainingHistory
     compromised_ids: list[int] = field(default_factory=list)
     extras: dict = field(default_factory=dict)
+    ledger: CommunicationLedger | None = None
 
     @property
     def benign_accuracy(self) -> float:
@@ -48,13 +52,16 @@ class ExperimentResult:
 
     def to_dict(self) -> dict:
         """JSON-compatible plain-data form (``extras`` are not serialised)."""
-        return {
+        data = {
             "scenario": self.config.to_dict(),
             "summary": self.summary(),
             "evaluation": self.evaluation.to_dict(),
             "compromised_ids": [int(c) for c in self.compromised_ids],
             "history": self.history.to_dict(),
         }
+        if self.ledger is not None:
+            data["ledger"] = self.ledger.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "ExperimentResult":
@@ -67,16 +74,18 @@ class ExperimentResult:
 
         reject_unknown_keys(
             data,
-            {"scenario", "summary", "evaluation", "compromised_ids", "history"},
+            {"scenario", "summary", "evaluation", "compromised_ids", "history", "ledger"},
             "experiment-result",
         )
         if "scenario" not in data:
             raise ValueError("experiment-result data needs a 'scenario' section")
+        ledger = data.get("ledger")
         return cls(
             config=Scenario.from_dict(data["scenario"]),
             evaluation=ClientEvaluation.from_dict(data.get("evaluation", {})),
             history=TrainingHistory.from_dict(data.get("history", {})),
             compromised_ids=[int(c) for c in data.get("compromised_ids", [])],
+            ledger=CommunicationLedger.from_dict(ledger) if ledger is not None else None,
         )
 
     def to_json(self, indent: int | None = 2) -> str:

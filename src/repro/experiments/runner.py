@@ -20,6 +20,7 @@ from repro.experiments.results import ExperimentResult
 from repro.experiments.scenario import Scenario
 from repro.federated.engine.backends import make_backend
 from repro.federated.engine.hooks import RoundHook
+from repro.federated.engine.ledger import CommunicationLedger, LedgerHook
 from repro.federated.server import FederatedServer, ServerConfig
 from repro.metrics.accuracy import evaluate_clients
 from repro.nn.layers import Flatten
@@ -166,8 +167,18 @@ def build_backend(config: Scenario):
     ``configure_scenario``; they get the scenario itself so their workers
     can rebuild the execution context remotely.
     """
+    kwargs = dict(config.backend_kwargs)
+    if config.secure_aggregation:
+        # Backends with a construction-time secagg check (the distributed
+        # coordinator rejecting lossy wire formats) get the flag; in-process
+        # backends are driven purely by the server's engine context.
+        from repro.registry import BACKENDS
+
+        accepted = {p.name for p in BACKENDS.describe(config.backend)}
+        if "secure_aggregation" in accepted:
+            kwargs.setdefault("secure_aggregation", True)
     backend = make_backend(
-        config.backend, max_workers=config.backend_workers, **config.backend_kwargs
+        config.backend, max_workers=config.backend_workers, **kwargs
     )
     configure = getattr(backend, "configure_scenario", None)
     if configure is not None:
@@ -228,6 +239,7 @@ def run_experiment(
         eval_every=config.eval_every,
         streaming=config.streaming,
         num_shards=config.num_shards,
+        secure_aggregation=config.secure_aggregation,
     )
 
     eval_fn = None
@@ -245,6 +257,16 @@ def run_experiment(
             )
             return evaluation.as_dict()
 
+    backend = build_backend(config)
+    # Every run carries a communication ledger: the LedgerHook accounts the
+    # logical client↔server model traffic on any backend, and a backend with
+    # a real transport (the distributed coordinator) meters its wire frames
+    # into the same ledger.
+    ledger = CommunicationLedger()
+    backend.ledger = ledger
+    ledger_hook = LedgerHook(
+        ledger, wire_dtype=getattr(backend, "wire_dtype", "float64")
+    )
     server = FederatedServer(
         dataset,
         model_factory,
@@ -254,8 +276,8 @@ def run_experiment(
         attack=attack,
         compromised_ids=compromised,
         eval_fn=eval_fn,
-        backend=build_backend(config),
-        hooks=hooks,
+        backend=backend,
+        hooks=[ledger_hook, *(hooks or ())],
     )
 
     # Context manager: worker processes and shard pools are released even
@@ -278,5 +300,6 @@ def run_experiment(
         history=server.history,
         compromised_ids=compromised,
         extras=extras,
+        ledger=ledger,
     )
 

@@ -99,6 +99,7 @@ class Scenario:
     #   backend_workers so every backend shares one worker-cap field.
     streaming: str = "auto"             # fold updates online: auto|on|off
     num_shards: int = 1                 # split the streaming fold across shards
+    secure_aggregation: bool = False    # pairwise-masked updates (server-blind)
 
     # Attack
     attack: str = "none"
@@ -227,6 +228,17 @@ class Scenario:
             )
         if not isinstance(self.num_shards, int) or self.num_shards < 1:
             raise ValueError("num_shards must be a positive integer")
+        if self.secure_aggregation:
+            from repro.federated.secagg import PlaintextRequiredError
+
+            defense = DEFENSES.get(self.defense)
+            if getattr(defense, "requires_plaintext_updates", False):
+                raise PlaintextRequiredError(self.defense)
+            if self.streaming == "off":
+                raise ValueError(
+                    "secure aggregation folds masked updates online and has no "
+                    "matrix path; use streaming='auto' or 'on'"
+                )
 
     # -- functional updates ------------------------------------------------
 

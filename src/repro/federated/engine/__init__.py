@@ -35,6 +35,10 @@ from repro.federated.engine.hooks import (
     HookPipeline,
     RoundHook,
 )
+from repro.federated.engine.ledger import (
+    CommunicationLedger,
+    LedgerHook,
+)
 from repro.federated.engine.plan import (
     ClientResult,
     ClientTask,
@@ -67,6 +71,8 @@ __all__ = [
     "HookPipeline",
     "EvaluationHook",
     "CallbackHook",
+    "CommunicationLedger",
+    "LedgerHook",
     "ClientTask",
     "ClientResult",
     "ClientUpdate",

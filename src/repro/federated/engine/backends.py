@@ -50,13 +50,23 @@ from repro.registry import BACKENDS
 
 @dataclass
 class EngineContext:
-    """Everything a backend needs to execute client tasks."""
+    """Everything a backend needs to execute client tasks.
+
+    ``secagg_seed`` enables secure aggregation: when set, every update
+    leaving the execution engine is masked with its client's aggregate
+    round mask (:mod:`repro.federated.secagg.masking`) before anything
+    server-side — hooks, retained lists, the aggregator API — can observe
+    it.  The seed is the run seed; mask streams are derived per
+    ``(seed, round, pair)``, so remote workers and driver-side backends
+    produce identical masked bytes.
+    """
 
     dataset: FederatedDataset
     model_factory: Callable[[], object]
     algorithm: FederatedAlgorithm
     local_config: LocalTrainingConfig
     attack: object | None = None
+    secagg_seed: int | None = None
 
 
 def run_benign_task(
@@ -104,6 +114,11 @@ class ExecutionBackend:
     distributed = False
     #: Benign clients train as one stacked model (cross-client GEMM batching).
     batched_execution = False
+
+    #: Optional :class:`~repro.federated.engine.ledger.CommunicationLedger`
+    #: installed by the experiment runner; backends with a real transport
+    #: (the distributed coordinator) meter their wire frames into it.
+    ledger = None
 
     def __init__(self) -> None:
         self._ctx: EngineContext | None = None
@@ -158,10 +173,35 @@ class ExecutionBackend:
         override it to yield as clients finish.
         """
         for result in self.execute(plan, global_params):
-            yield self.make_update(result)
+            yield self.make_update(result, plan)
 
-    def make_update(self, result: ClientResult) -> ClientUpdate:
-        """Wrap an executed result with its client's dataset weight."""
+    def make_update(self, result: ClientResult, plan: RoundPlan) -> ClientUpdate:
+        """Wrap an executed result with its client's dataset weight.
+
+        The single choke point where results leave the execution engine:
+        under secure aggregation (``ctx.secagg_seed``) the update vector is
+        masked here — in the client's stead — unless the result is already
+        masked at the source (``secagg_masked`` extra, set by the
+        distributed coordinator whose workers mask before the bytes ever
+        reach a socket).  All round participants mask, compromised clients
+        included: an unmasked participant would leave its pairwise terms
+        uncancelled in the sum.
+        """
+        seed = self.ctx.secagg_seed
+        if seed is not None and not result.extras.get("secagg_masked"):
+            # Imported lazily: the secagg package pulls in plan/defense
+            # modules and is only needed when masking is actually on.
+            from repro.federated.secagg.masking import mask_update
+
+            result = ClientResult(
+                task=result.task,
+                update=mask_update(
+                    result.update, seed, plan.round_idx, result.client_id,
+                    plan.sampled_clients,
+                ),
+                loss=result.loss,
+                extras={**result.extras, "secagg_masked": True},
+            )
         return ClientUpdate.from_result(
             result,
             num_examples=len(self.ctx.dataset.client(result.client_id).train),
@@ -233,13 +273,13 @@ class SerialBackend(ExecutionBackend):
         ctx = self.ctx
         model = self._get_driver_model()
         for task in plan.malicious_tasks:
-            yield self.make_update(run_malicious_task(ctx, task, global_params, model))
+            yield self.make_update(run_malicious_task(ctx, task, global_params, model), plan)
         if self.batch_clients is not None and self.batch_clients > 1:
             for result in self._get_batched_runner().run(plan.benign_tasks, global_params):
-                yield self.make_update(result)
+                yield self.make_update(result, plan)
             return
         for task in plan.benign_tasks:
-            yield self.make_update(run_benign_task(ctx, task, global_params, model))
+            yield self.make_update(run_benign_task(ctx, task, global_params, model), plan)
 
 
 @BACKENDS.register("thread")
@@ -303,10 +343,11 @@ class ThreadPoolBackend(ExecutionBackend):
         ctx = self.ctx
         for task in plan.malicious_tasks:
             yield self.make_update(
-                run_malicious_task(ctx, task, global_params, self._get_driver_model())
+                run_malicious_task(ctx, task, global_params, self._get_driver_model()),
+                plan,
             )
         for future in as_completed(futures):
-            yield self.make_update(future.result())
+            yield self.make_update(future.result(), plan)
 
     def close(self) -> None:
         if self._executor is not None:

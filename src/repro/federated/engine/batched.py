@@ -222,7 +222,8 @@ class BatchedBackend(ExecutionBackend):
         ctx = self.ctx
         for task in plan.malicious_tasks:
             yield self.make_update(
-                run_malicious_task(ctx, task, global_params, self._get_driver_model())
+                run_malicious_task(ctx, task, global_params, self._get_driver_model()),
+                plan,
             )
         for result in self._get_runner().run(plan.benign_tasks, global_params):
-            yield self.make_update(result)
+            yield self.make_update(result, plan)

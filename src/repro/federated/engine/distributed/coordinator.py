@@ -49,9 +49,11 @@ from repro.federated.engine.distributed.protocol import (
     ProtocolError,
     context_fingerprint,
     context_payload,
+    message_size,
     recv_message,
     send_message,
 )
+from repro.federated.engine.ledger import SETUP_ROUND
 from repro.federated.engine.plan import ClientResult, ClientTask, RoundPlan
 from repro.nn import serialization
 from repro.registry import BACKENDS
@@ -109,6 +111,7 @@ class DistributedBackend(ExecutionBackend):
         connect: str | list[str] | None = None,
         spawn_timeout: float = 60.0,
         wire_dtype: str = "float64",
+        secure_aggregation: bool = False,
     ) -> None:
         super().__init__()
         if max_workers is not None and max_workers <= 0:
@@ -118,9 +121,21 @@ class DistributedBackend(ExecutionBackend):
         self.spawn_timeout = spawn_timeout
         # Validate at construction so a typo fails before workers spawn.
         serialization.wire_dtype(wire_dtype)
+        if secure_aggregation and wire_dtype != "float64":
+            raise ValueError(
+                "secure aggregation is incompatible with wire_dtype="
+                f"{wire_dtype!r}: masked updates are IEEE-754 float64 words "
+                "plus a pairwise mask mod 2**64, and any narrowing round-trip "
+                "corrupts the ciphertext so the masks no longer cancel; use "
+                "the bit-exact float64 wire format"
+            )
         #: Wire encoding of every parameter/update vector this backend ships
         #: ("float64" = bit-exact default, "float32" = lossy, half traffic).
         self.wire_dtype = wire_dtype
+        #: Declared at construction so an incompatible wire_dtype fails here
+        #: rather than rounds later; the round-time trigger is the server's
+        #: ``ctx.secagg_seed`` (guarded again in ``_run_round``).
+        self.secure_aggregation = secure_aggregation
         self._links: list[_WorkerLink] = []
         self._started = False
         self._scenario_payload: dict | None = None
@@ -149,6 +164,59 @@ class DistributedBackend(ExecutionBackend):
     @property
     def worker_pids(self) -> list[int]:
         return [link.pid for link in self.workers if link.pid is not None]
+
+    # -- wire accounting ----------------------------------------------------
+
+    def _record_wire(
+        self,
+        pid: int | None,
+        direction: str,
+        round_idx: int,
+        header_bytes: int,
+        payload_bytes: int,
+    ) -> None:
+        if self.ledger is None:
+            return
+        self.ledger.record(
+            round_idx=round_idx,
+            channel="wire",
+            link=f"worker:{pid}" if pid is not None else "worker:?",
+            direction=direction,
+            header_bytes=header_bytes,
+            payload_bytes=payload_bytes,
+            dtype=self.wire_dtype,
+        )
+
+    def _send(
+        self,
+        link: _WorkerLink,
+        msg_type: MessageType,
+        fields: dict,
+        arrays: dict[str, np.ndarray] | None = None,
+        dtype: str = "float64",
+        round_idx: int = SETUP_ROUND,
+    ) -> None:
+        """Send one frame to a worker, metering it into the wire ledger.
+
+        The byte split is computed analytically by :func:`message_size` —
+        exact, because it runs the same canonical ``json.dumps`` the encoder
+        does — so metering copies no vector bytes.
+        """
+        send_message(link.sock, msg_type, fields, arrays, dtype=dtype)
+        if self.ledger is not None:
+            lengths = {name: int(a.shape[0]) for name, a in (arrays or {}).items()}
+            header, payload = message_size(fields, lengths, dtype=dtype)
+            self._record_wire(link.pid, "down", round_idx, header, payload)
+
+    def _recv(self, link: _WorkerLink, round_idx: int = SETUP_ROUND):
+        """Receive one frame from a worker, metering it into the wire ledger."""
+        meter = None
+        if self.ledger is not None:
+
+            def meter(_msg, header_bytes, payload_bytes):
+                self._record_wire(link.pid, "up", round_idx, header_bytes, payload_bytes)
+
+        return recv_message(link.sock, meter=meter)
 
     # -- worker lifecycle ---------------------------------------------------
 
@@ -217,7 +285,15 @@ class DistributedBackend(ExecutionBackend):
     ) -> _WorkerLink:
         sock = socket.create_connection(address, timeout=self.spawn_timeout)
         sock.settimeout(self.spawn_timeout)
-        msg, fields, _arrays = recv_message(sock)
+        # The HELLO frame is metered after decode — the worker's pid (the
+        # ledger link label) only exists once the frame is read.
+        sizes: list[tuple[int, int]] = []
+        meter = (
+            (lambda _msg, header, payload: sizes.append((header, payload)))
+            if self.ledger is not None
+            else None
+        )
+        msg, fields, _arrays = recv_message(sock, meter=meter)
         if msg is not MessageType.HELLO:
             raise ProtocolError(f"expected HELLO from worker, got {msg.name}")
         if fields.get("version") != PROTOCOL_VERSION:
@@ -226,6 +302,8 @@ class DistributedBackend(ExecutionBackend):
                 f"{fields.get('version')}, coordinator speaks {PROTOCOL_VERSION}"
             )
         sock.settimeout(None)
+        for header, payload in sizes:
+            self._record_wire(fields.get("pid"), "up", SETUP_ROUND, header, payload)
         return _WorkerLink(sock=sock, pid=fields.get("pid"), proc=proc)
 
     def _configure_links(self) -> None:
@@ -244,8 +322,8 @@ class DistributedBackend(ExecutionBackend):
                 # ``wire_dtype`` rides next to the context but stays out of
                 # the fingerprint: the rebuilt context is dtype-independent,
                 # so switching encodings must not invalidate worker caches.
-                send_message(
-                    link.sock,
+                self._send(
+                    link,
                     MessageType.CONFIGURE,
                     {
                         "fingerprint": self._fingerprint,
@@ -258,7 +336,7 @@ class DistributedBackend(ExecutionBackend):
         stale = [link for link in stale if link.alive]
         for link in stale:
             try:
-                msg, fields, _arrays = recv_message(link.sock)
+                msg, fields, _arrays = self._recv(link)
             except ConnectionClosed:
                 # A worker that died while building its context is simply
                 # dropped; the round runs on the survivors.
@@ -281,7 +359,7 @@ class DistributedBackend(ExecutionBackend):
 
     def iter_updates(self, plan, global_params):
         for result in self._run_round(plan, global_params):
-            yield self.make_update(result)
+            yield self.make_update(result, plan)
 
     def _run_round(self, plan: RoundPlan, global_params: np.ndarray):
         """Yield the round's :class:`ClientResult` objects as they complete."""
@@ -290,6 +368,16 @@ class DistributedBackend(ExecutionBackend):
         pending: deque[ClientTask] = deque(benign)
         remaining: dict[int, ClientTask] = {t.order: t for t in benign}
         live: list[_WorkerLink] = []
+        secagg_seed = ctx.secagg_seed
+        if secagg_seed is not None and self.wire_dtype != "float64":
+            # Belt and braces behind the constructor check: the round-time
+            # trigger is the server's context, which a direct backend user
+            # can reach without the constructor flag.
+            raise RuntimeError(
+                "secure aggregation is active but this coordinator ships "
+                f"wire_dtype={self.wire_dtype!r}; masked updates survive only "
+                "the bit-exact float64 wire format"
+            )
         if benign:
             if self._scenario_payload is None:
                 raise RuntimeError(
@@ -302,14 +390,24 @@ class DistributedBackend(ExecutionBackend):
             live = self.workers
             if not live:
                 raise RuntimeError("no distributed workers available")
+            round_fields: dict = {"round": plan.round_idx}
+            if secagg_seed is not None:
+                # Workers mask at the source: each masked update leaves the
+                # worker as ciphertext, so the coordinator process never
+                # holds a remote client's plaintext update.
+                round_fields["secagg"] = {
+                    "seed": int(secagg_seed),
+                    "participants": [int(c) for c in plan.sampled_clients],
+                }
             for link in live:
                 try:
-                    send_message(
-                        link.sock,
+                    self._send(
+                        link,
                         MessageType.ROUND,
-                        {"round": plan.round_idx},
+                        round_fields,
                         {"params": global_params},
                         dtype=self.wire_dtype,
+                        round_idx=plan.round_idx,
                     )
                 except OSError:
                     self._bury(link, pending, None)
@@ -330,7 +428,7 @@ class DistributedBackend(ExecutionBackend):
                 for key, _events in sel.select():
                     link: _WorkerLink = key.data
                     try:
-                        msg, fields, arrays = recv_message(link.sock)
+                        msg, fields, arrays = self._recv(link, round_idx=plan.round_idx)
                     except ConnectionClosed:
                         self._bury(link, pending, sel)
                         self._refill_survivors(pending, plan.round_idx, sel, remaining)
@@ -353,7 +451,12 @@ class DistributedBackend(ExecutionBackend):
                         # Already completed before a re-dispatch raced it.
                         continue
                     yield ClientResult(
-                        task=task, update=arrays["update"], loss=fields.get("loss")
+                        task=task,
+                        update=arrays["update"],
+                        loss=fields.get("loss"),
+                        # Masked at the source: ``make_update`` must not mask
+                        # this vector a second time.
+                        extras={"secagg_masked": True} if fields.get("masked") else {},
                     )
         finally:
             sel.close()
@@ -376,8 +479,8 @@ class DistributedBackend(ExecutionBackend):
             state = self.ctx.algorithm.client_benign_state(task.client_id)
             arrays = {"state": state} if state is not None else None
             try:
-                send_message(link.sock, MessageType.TASK, fields, arrays,
-                             dtype=self.wire_dtype)
+                self._send(link, MessageType.TASK, fields, arrays,
+                           dtype=self.wire_dtype, round_idx=round_idx)
             except OSError:
                 pending.appendleft(task)
                 return False
@@ -438,7 +541,7 @@ class DistributedBackend(ExecutionBackend):
         for link in self._links:
             if link.alive:
                 try:
-                    send_message(link.sock, MessageType.SHUTDOWN, {})
+                    self._send(link, MessageType.SHUTDOWN, {})
                 except OSError:
                     pass
             link.close()

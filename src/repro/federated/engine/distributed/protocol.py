@@ -44,7 +44,12 @@ from repro.nn.serialization import vector_from_bytes, vector_to_bytes, wire_dtyp
 #: Bumped on any incompatible change to framing or message layout; both
 #: sides refuse to talk across versions instead of mis-parsing frames.
 #: Version 2 added the ``_dtype`` header field (fp32 wire format).
-PROTOCOL_VERSION = 2
+#: Version 3 added secure aggregation: ``ROUND`` may carry a ``secagg``
+#: header field ({seed, participants}) instructing workers to mask, and a
+#: masked ``UPDATE`` declares itself with ``masked: true`` — its vector is
+#: ciphertext (IEEE-754 words plus the client's round mask mod 2**64)
+#: riding the float64 transport, which a v2 peer would mis-read as numbers.
+PROTOCOL_VERSION = 3
 
 _MAGIC = b"RW"
 _HEADER = struct.Struct(">2sBBI")
@@ -104,6 +109,32 @@ def encode_message(
     chunks = [_JSON_LEN.pack(len(header_bytes)), header_bytes]
     chunks.extend(vector_to_bytes(arrays[name], dtype=dtype) for name in arrays)
     return b"".join(chunks)
+
+
+def message_size(
+    fields: dict,
+    arrays: dict[str, int] | None = None,
+    dtype: str = "float64",
+) -> tuple[int, int]:
+    """Frame-size accounting without materialising the frame.
+
+    ``arrays`` maps vector names to their *lengths* (element counts), so no
+    array bytes are copied.  Returns ``(overhead_bytes, vector_bytes)``:
+    overhead is the frame header plus the length-prefixed JSON envelope —
+    computed through the same canonical ``json.dumps`` as
+    :func:`encode_message`, so the split is exact — and vector_bytes is the
+    raw payload of the declared vectors at the given wire dtype.  This is
+    what the communication ledger records per frame.
+    """
+    arrays = arrays or {}
+    header = dict(fields)
+    header["_arrays"] = [[name, int(length)] for name, length in arrays.items()]
+    if arrays:
+        header["_dtype"] = dtype
+    header_bytes = len(json.dumps(header, separators=(",", ":")).encode("utf-8"))
+    itemsize = wire_dtype(dtype).itemsize
+    vector_bytes = sum(int(length) for length in arrays.values()) * itemsize
+    return _HEADER.size + _JSON_LEN.size + header_bytes, vector_bytes
 
 
 def decode_message(payload: bytes) -> tuple[dict, dict[str, np.ndarray]]:
@@ -178,8 +209,16 @@ def send_message(
 
 def recv_message(
     sock: socket.socket,
+    meter=None,
 ) -> tuple[MessageType, dict, dict[str, np.ndarray]]:
-    """Receive one frame; raises :class:`ConnectionClosed` on EOF."""
+    """Receive one frame; raises :class:`ConnectionClosed` on EOF.
+
+    ``meter``, when given, is called once per successfully decoded frame as
+    ``meter(msg, overhead_bytes, vector_bytes)`` with the same split
+    :func:`message_size` computes on the send side — the receive half of the
+    communication ledger's wire accounting.  Metering is observation only:
+    it never changes what crosses the wire.
+    """
     magic, version, msg_type, length = _HEADER.unpack(recv_exact(sock, _HEADER.size))
     if magic != _MAGIC:
         raise ProtocolError(f"bad frame magic {magic!r}")
@@ -194,7 +233,12 @@ def recv_message(
         msg = MessageType(msg_type)
     except ValueError as exc:
         raise ProtocolError(f"unknown message type {msg_type}") from exc
-    fields, arrays = decode_message(recv_exact(sock, length))
+    payload = recv_exact(sock, length)
+    fields, arrays = decode_message(payload)
+    if meter is not None:
+        (header_len,) = _JSON_LEN.unpack_from(payload)
+        envelope = _JSON_LEN.size + header_len
+        meter(msg, _HEADER.size + envelope, length - envelope)
     return msg, fields, arrays
 
 

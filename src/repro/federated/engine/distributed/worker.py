@@ -53,6 +53,7 @@ from repro.federated.engine.distributed.protocol import (
     send_message,
 )
 from repro.federated.engine.plan import ClientTask
+from repro.federated.secagg.masking import mask_update
 from repro.nn import serialization
 from repro.nn.serialization import flatten_params
 
@@ -175,6 +176,7 @@ class WorkerServer:
         active: _WorkerContext | None = None
         global_params: np.ndarray | None = None
         wire_dtype = "float64"
+        secagg: dict | None = None
         while True:
             try:
                 msg, fields, arrays = recv_message(conn)
@@ -200,8 +202,26 @@ class WorkerServer:
                 )
             elif msg is MessageType.ROUND:
                 global_params = arrays["params"]
+                secagg = fields.get("secagg")
+                if secagg is not None and wire_dtype != "float64":
+                    # Masked words only survive a bit-exact transport; report
+                    # the misconfiguration instead of shipping corrupt masks.
+                    send_message(
+                        conn,
+                        MessageType.ERROR,
+                        {
+                            "traceback": (
+                                "secure aggregation requires the float64 wire "
+                                f"format; this session was configured with "
+                                f"wire_dtype={wire_dtype!r}"
+                            )
+                        },
+                    )
+                    secagg = None
             elif msg is MessageType.TASK:
-                self._run_task(conn, active, global_params, fields, arrays, wire_dtype)
+                self._run_task(
+                    conn, active, global_params, fields, arrays, wire_dtype, secagg
+                )
             else:
                 send_message(
                     conn,
@@ -217,6 +237,7 @@ class WorkerServer:
         fields: dict,
         arrays: dict[str, np.ndarray],
         wire_dtype: str = "float64",
+        secagg: dict | None = None,
     ) -> None:
         order = fields.get("order")
         try:
@@ -235,6 +256,25 @@ class WorkerServer:
             if state is not None:
                 active.engine.algorithm.set_client_benign_state(task.client_id, state)
             result = run_benign_task(active.engine, task, global_params, active.model)
+            update = result.update
+            update_fields = {
+                "order": task.order,
+                "client": task.client_id,
+                "loss": result.loss,
+            }
+            if secagg is not None:
+                # Mask at the source: the plaintext update never leaves this
+                # process.  Masks are pure functions of (seed, round, pair),
+                # so a re-dispatched task after a worker death regenerates
+                # the identical ciphertext on whichever worker picks it up.
+                update = mask_update(
+                    update,
+                    secagg["seed"],
+                    task.round_idx,
+                    task.client_id,
+                    secagg["participants"],
+                )
+                update_fields["masked"] = True
         except Exception:
             send_message(
                 conn,
@@ -249,8 +289,8 @@ class WorkerServer:
         send_message(
             conn,
             MessageType.UPDATE,
-            {"order": task.order, "client": task.client_id, "loss": result.loss},
-            {"update": result.update},
+            update_fields,
+            {"update": update},
             dtype=wire_dtype,
         )
 

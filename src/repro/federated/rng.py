@@ -23,6 +23,18 @@ CLIENT_STREAM_PRIME = 1_000_003
 ROUND_STREAM_PRIME = 1_009
 PERSONALIZATION_PRIME = 31
 
+#: Domain-separation tag of the secure-aggregation pair-mask streams.  The
+#: pair streams are derived through :class:`numpy.random.SeedSequence` (not
+#: the historical prime multipliers) because mask security rests on the
+#: streams being pairwise independent; the tag keeps them disjoint from any
+#: other SeedSequence-derived stream a future subsystem might add.
+SECAGG_PAIR_TAG = 0x5EC466
+
+#: Entropy words handed to SeedSequence must be non-negative; run seeds are
+#: plain Python ints, so they are reduced into the 64-bit word the sequence
+#: mixes.  Collisions would need seeds 2**64 apart — not a practical concern.
+_SEED_WORD_MASK = (1 << 64) - 1
+
 
 def client_stream_seed(seed: int, round_idx: int, client_id: int) -> int:
     """Seed of the RNG stream a client uses in one round of local training."""
@@ -42,3 +54,30 @@ def personalization_seed(seed: int, client_id: int) -> int:
 def personalization_rng(seed: int, client_id: int) -> np.random.Generator:
     """Fresh generator for one client's personalisation stream."""
     return np.random.default_rng(personalization_seed(seed, client_id))
+
+
+def pair_mask_seed_sequence(
+    seed: int, round_idx: int, client_a: int, client_b: int
+) -> np.random.SeedSequence:
+    """Seed sequence of one client pair's secure-aggregation mask stream.
+
+    Deterministic in ``(seed, round, {client_a, client_b})``: the pair is
+    canonicalised to ``(min, max)`` order, so both endpoints of a pair derive
+    the *same* stream — which is what makes the pairwise masks cancel.  Every
+    execution site (driver backend, remote worker, recovery re-dispatch)
+    re-derives masks from this sequence alone, so a client that dies
+    mid-round needs no explicit mask hand-off: re-deriving is reconstruction.
+    """
+    if client_a == client_b:
+        raise ValueError("a client does not share a mask stream with itself")
+    lo, hi = sorted((int(client_a), int(client_b)))
+    return np.random.SeedSequence(
+        (int(seed) & _SEED_WORD_MASK, int(round_idx), lo, hi, SECAGG_PAIR_TAG)
+    )
+
+
+def pair_mask_rng(
+    seed: int, round_idx: int, client_a: int, client_b: int
+) -> np.random.Generator:
+    """Fresh generator for one pair's secure-aggregation mask stream."""
+    return np.random.default_rng(pair_mask_seed_sequence(seed, round_idx, client_a, client_b))

@@ -1,0 +1,130 @@
+"""Pairwise additive masking over IEEE-754 bit patterns.
+
+Secure aggregation hides individual client updates from the server: each
+pair of round participants ``(i, j)`` derives a shared mask from a seeded
+per-pair RNG stream (:func:`repro.federated.rng.pair_mask_rng`), client
+``i`` adds it and client ``j`` subtracts it, and the per-pair terms cancel
+in the aggregate — the server only ever learns the sum.
+
+Why bit patterns and not float arithmetic: the repo's core guarantee is
+*bit-identical* histories per seed, and float addition is not associative —
+``(u + m) - m`` already differs from ``u`` in the last ulp, so any
+float-domain masking scheme breaks bit-identity the moment a mask is
+applied.  Masking here therefore operates on the raw 64-bit IEEE-754 words
+of the update in the ring ``Z_2^64``: add a uniformly random 64-bit word to
+each parameter's bit pattern (wrapping), and the masked word is a one-time
+pad — perfectly hiding, with *exact* cancellation because integer addition
+mod 2**64 is associative and invertible.  Masked vectors travel as float64
+reinterpretations of those words; every transport in the repo
+(:func:`repro.nn.serialization.vector_to_bytes` and same-dtype copies) is a
+memcpy for float64, so the words survive the wire bit-for-bit even when
+they happen to spell NaNs or infinities.
+
+A client's aggregate mask over the round's participant set ``P`` is
+
+    M_i  =  sum_{j in P, j > i} m_ij  -  sum_{j in P, j < i} m_ji   (mod 2**64)
+
+so ``sum_{i in P} M_i = 0 (mod 2**64)``: summing the masked *words* of all
+participants yields the sum of the plaintext words.  (The defense fold
+itself is float addition, not word addition, so the sealed
+:class:`~repro.federated.secagg.aggregator.SecureAggregator` removes each
+``M_i`` exactly — see its docstring for how that maps onto the multi-party
+protocol.)
+
+Dropout recovery needs no key shares in this simulation: masks are pure
+functions of ``(seed, round, pair)``, so a re-dispatched task — e.g. after
+the distributed backend loses a worker mid-round — re-derives the exact
+masks (and therefore the exact masked bytes) the dead worker would have
+sent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.federated.rng import pair_mask_rng
+
+#: Exclusive upper bound of the mask words (the full 64-bit word range).
+_WORD_MAX = (1 << 64) - 1
+
+
+def pairwise_mask(
+    seed: int, round_idx: int, client_a: int, client_b: int, dim: int
+) -> np.ndarray:
+    """The shared mask word vector of one client pair for one round.
+
+    Symmetric in the pair (both endpoints derive the same vector); uniform
+    over the full 64-bit word range, so a single application is a one-time
+    pad on the update's bit pattern.
+    """
+    rng = pair_mask_rng(seed, round_idx, client_a, client_b)
+    return rng.integers(0, _WORD_MAX, size=int(dim), dtype=np.uint64, endpoint=True)
+
+
+def client_round_mask(
+    seed: int,
+    round_idx: int,
+    client_id: int,
+    participants: Iterable[int],
+    dim: int,
+) -> np.ndarray:
+    """One client's aggregate mask ``M_i`` over the round's participants.
+
+    ``participants`` is the round's full sampled-client set (benign *and*
+    compromised — every participant must mask, or the pairwise terms
+    involving the unmasked client would survive in the sum).  Clients absent
+    from ``participants`` contribute no pair; ``client_id`` itself is
+    skipped.  Summing the returned vectors over every participant is
+    identically zero mod 2**64.
+    """
+    total = np.zeros(int(dim), dtype=np.uint64)
+    for other in sorted({int(p) for p in participants} - {int(client_id)}):
+        mask = pairwise_mask(seed, round_idx, client_id, other, dim)
+        if client_id < other:
+            total += mask
+        else:
+            total -= mask
+    return total
+
+
+def mask_words(update: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Add ``mask`` to the update's IEEE-754 words (mod 2**64).
+
+    Returns a fresh float64 array whose bit pattern is
+    ``bits(update) + mask``; the input is never modified.  The result is not
+    meaningful as numbers — it is ciphertext riding the float64 transport.
+    """
+    words = np.ascontiguousarray(update, dtype=np.float64).view(np.uint64)
+    return (words + np.asarray(mask, dtype=np.uint64)).view(np.float64)
+
+
+def unmask_words(masked: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Exact inverse of :func:`mask_words` (word subtraction mod 2**64)."""
+    words = np.ascontiguousarray(masked, dtype=np.float64).view(np.uint64)
+    return (words - np.asarray(mask, dtype=np.uint64)).view(np.float64)
+
+
+def mask_update(
+    update: np.ndarray,
+    seed: int,
+    round_idx: int,
+    client_id: int,
+    participants: Iterable[int],
+) -> np.ndarray:
+    """Mask one client's update with its aggregate round mask."""
+    mask = client_round_mask(seed, round_idx, client_id, participants, update.shape[0])
+    return mask_words(update, mask)
+
+
+def unmask_update(
+    masked: np.ndarray,
+    seed: int,
+    round_idx: int,
+    client_id: int,
+    participants: Iterable[int],
+) -> np.ndarray:
+    """Remove one client's aggregate round mask (bit-exact inverse)."""
+    mask = client_round_mask(seed, round_idx, client_id, participants, masked.shape[0])
+    return unmask_words(masked, mask)

@@ -51,6 +51,16 @@ class ServerConfig:
     (``aggregator.shardable``); other defenses keep the single-fold path.
     ``shards=N`` is bit-identical to ``shards=1`` for the same seed on every
     backend.
+
+    ``secure_aggregation`` runs the round under pairwise additive masking
+    (:mod:`repro.federated.secagg`): every update leaving the execution
+    engine is masked, and the aggregator is wrapped in the sealed
+    :class:`~repro.federated.secagg.aggregator.SecureAggregator` layer, so
+    the server only observes masked bytes or the finished fold.  Histories
+    are bit-identical with masking on or off for server-blind defenses;
+    defenses that inspect individual updates raise
+    :class:`~repro.federated.secagg.aggregator.PlaintextRequiredError` at
+    construction.
     """
 
     rounds: int = 20
@@ -62,6 +72,7 @@ class ServerConfig:
     eval_every: int | None = None
     streaming: str = "auto"
     num_shards: int = 1
+    secure_aggregation: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -98,7 +109,26 @@ class FederatedServer:
         self.config = config
         # Shard-capable defenses fold across a worker pool when the config
         # asks for it; everything else keeps the single-fold path unchanged.
-        self.aggregator = maybe_shard(aggregator or MeanAggregator(), config.num_shards)
+        defense = aggregator or MeanAggregator()
+        self.aggregator = maybe_shard(defense, config.num_shards)
+        if config.secure_aggregation:
+            # Imported lazily to keep the server importable without the
+            # secagg package in the hot path of plaintext runs.
+            from repro.federated.secagg import SecureAggregator
+
+            if self._algorithm_consumes_updates():
+                raise ValueError(
+                    f"algorithm {type(self.algorithm).__name__} consumes "
+                    "per-client updates in post_aggregate, which secure "
+                    "aggregation withholds from the server; disable "
+                    "secure_aggregation or use an algorithm that only reads "
+                    "the aggregate (e.g. fedavg)"
+                )
+            # The capability check runs against the configured defense, not
+            # the shard wrapper around it (raises PlaintextRequiredError).
+            self.aggregator = SecureAggregator(
+                self.aggregator, seed=config.seed, check=defense
+            )
         if config.streaming == "off" and getattr(self.aggregator, "streaming_only", False):
             # Fail fast: a streaming-only defense would otherwise waste a
             # full round of client training before its aggregate() raised.
@@ -135,6 +165,7 @@ class FederatedServer:
                 algorithm=algorithm,
                 local_config=config.local,
                 attack=attack,
+                secagg_seed=config.seed if config.secure_aggregation else None,
             )
         )
         # The evaluation hook is registered first so user hooks observe round
@@ -220,7 +251,7 @@ class FederatedServer:
             # Replay per-update events in aggregation order after the barrier
             # so on_update observers behave identically across paths.
             for result in results:
-                self.hooks.update(self, plan, self.backend.make_update(result))
+                self.hooks.update(self, plan, self.backend.make_update(result, plan))
         self.hooks.updates_collected(self, plan, results)
 
         benign_losses = [r.loss for r in results if not r.malicious]

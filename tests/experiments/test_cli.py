@@ -113,6 +113,35 @@ class TestRun:
         out = capsys.readouterr().out
         assert "caps" in out and "shardable" in out and "buffered" in out
 
+    def test_list_defenses_shows_server_blind_capability(self, capsys):
+        assert main(["list", "defenses"]) == 0
+        lines = {
+            line.split()[0]: line
+            for line in capsys.readouterr().out.splitlines()
+            if line.strip()
+        }
+        # Sum-folding defenses advertise secagg compatibility; inspection
+        # defenses (requires_plaintext_updates) must not.
+        for blind in ("mean", "weighted_mean", "norm_bound", "dp", "signsgd", "crfl"):
+            assert "server-blind" in lines[blind], blind
+        for sighted in ("krum", "median", "trimmed_mean", "rlr", "detector", "flare"):
+            assert "server-blind" not in lines[sighted], sighted
+
+    def test_secagg_flag_is_applied(self, tiny_scenario_path, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        rc = main(
+            ["run", str(tiny_scenario_path), "--secagg", "--out", str(out_path)]
+        )
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["scenario"]["secure_aggregation"] is True
+        assert payload["ledger"]["totals"]["payload_bytes"] > 0
+
+    def test_secagg_flag_rejects_inspection_defense(self, tiny_scenario_path, capsys):
+        rc = main(["run", str(tiny_scenario_path), "--secagg", "--set", "defense=krum"])
+        assert rc == 2
+        assert "server-blind" in capsys.readouterr().err
+
     def test_run_rejects_unknown_scenario_key(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text('{"allpha": 0.1}')

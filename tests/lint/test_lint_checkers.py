@@ -125,14 +125,14 @@ class TestWireProtocol:
 
     def test_version_bump_requires_new_golden(self, tmp_path, protocol_text):
         patched = protocol_text.replace(
-            "PROTOCOL_VERSION = 2", "PROTOCOL_VERSION = 99", 1
+            "PROTOCOL_VERSION = 3", "PROTOCOL_VERSION = 99", 1
         )
         project = self._project_with(tmp_path, patched)
         assert rules_of(WireProtocolChecker().run(project)) == {"WIRE001"}
 
     def test_missing_version_constant_fails(self, tmp_path, protocol_text):
         patched = protocol_text.replace(
-            "PROTOCOL_VERSION = 2", "PROTOCOL_VERSION = None", 1
+            "PROTOCOL_VERSION = 3", "PROTOCOL_VERSION = None", 1
         )
         project = self._project_with(tmp_path, patched)
         assert rules_of(WireProtocolChecker().run(project)) == {"WIRE003"}

@@ -36,6 +36,15 @@ class TestDistill:
     def test_empty_report_distills_to_nothing(self):
         assert distill({"benchmarks": []}) == []
 
+    def test_ledger_bytes_survive_distillation(self):
+        raw = _raw_report()
+        raw["benchmarks"][0]["extra_info"]["ledger_bytes"] = 123_456
+        records = distill(raw)
+        by_op = {r["op"]: r for r in records}
+        assert by_op["test_zeta"]["ledger_bytes"] == 123_456
+        # Benches without a ledger stay minimal — no null-padded key.
+        assert "ledger_bytes" not in by_op["test_alpha"]
+
 
 class TestMain:
     def test_writes_bench_record(self, tmp_path, capsys):
@@ -115,6 +124,45 @@ class TestCompare:
         out = capsys.readouterr().out
         assert "WARNING: perf regression test_alpha" in out
         assert "removed" in out and "new" in out
+
+    def test_warn_pct_default_is_25(self, tmp_path, capsys):
+        from benchmarks.record import main
+
+        report = tmp_path / "raw.json"
+        report.write_text(json.dumps(self._fresh_report(1.2)))
+        baseline = tmp_path / "BENCH_4.json"
+        baseline.write_text(json.dumps(self._baseline()))
+        assert main(["compare", str(report), "--against", str(baseline)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING" not in out
+        assert "No regressions above 25%." in out
+
+    def test_warn_pct_tightens_the_gate(self, tmp_path, capsys):
+        from benchmarks.record import main
+
+        report = tmp_path / "raw.json"
+        report.write_text(json.dumps(self._fresh_report(1.2)))
+        baseline = tmp_path / "BENCH_4.json"
+        baseline.write_text(json.dumps(self._baseline()))
+        rc = main(
+            ["compare", str(report), "--against", str(baseline), "--warn-pct", "10"]
+        )
+        assert rc == 0
+        assert "WARNING: perf regression test_alpha" in capsys.readouterr().out
+
+    def test_deprecated_threshold_wins_over_warn_pct(self, tmp_path, capsys):
+        from benchmarks.record import main
+
+        report = tmp_path / "raw.json"
+        report.write_text(json.dumps(self._fresh_report(1.2)))
+        baseline = tmp_path / "BENCH_4.json"
+        baseline.write_text(json.dumps(self._baseline()))
+        rc = main(
+            ["compare", str(report), "--against", str(baseline),
+             "--warn-pct", "50", "--threshold", "0.1"]
+        )
+        assert rc == 0
+        assert "WARNING: perf regression test_alpha" in capsys.readouterr().out
 
     def test_compare_against_latest_committed(self, tmp_path, capsys, monkeypatch):
         from benchmarks import record
