@@ -32,6 +32,36 @@ class ClientData:
         return len(self.train) + len(self.test) + len(self.val)
 
 
+def pool_client_datasets(
+    get_client, client_ids: list[int], source: str = "val"
+) -> Dataset:
+    """Pool one split of several clients into a single dataset.
+
+    ``get_client`` maps a client id to its :class:`ClientData`; the helper is
+    shared between the eager :class:`FederatedDataset` and the lazy
+    :class:`~repro.federated.population.ClientPopulation` (which materialises
+    each client on demand), so both build the attacker's auxiliary set
+    through exactly the same concatenation order.
+    """
+    if not client_ids:
+        raise ValueError("need at least one client to pool")
+    if source not in {"val", "train", "all"}:
+        raise ValueError("source must be 'val', 'train' or 'all'")
+    parts: list[Dataset] = []
+    for c in client_ids:
+        client = get_client(c)
+        if source == "val":
+            parts.append(client.val)
+        elif source == "train":
+            parts.append(client.train)
+        else:
+            parts.append(client.train.concat(client.test).concat(client.val))
+    pooled = parts[0]
+    for part in parts[1:]:
+        pooled = pooled.concat(part)
+    return pooled
+
+
 @dataclass
 class FederatedDataset:
     """The complete federation: per-client data plus global metadata."""
@@ -49,6 +79,28 @@ class FederatedDataset:
     def client(self, client_id: int) -> ClientData:
         return self.clients[client_id]
 
+    def class_counts(self, client_id: int) -> np.ndarray:
+        """Per-class sample counts of one client (cheap metadata access)."""
+        return self.clients[client_id].class_counts
+
+    def label_distributions(self) -> np.ndarray:
+        """Stacked ``(num_clients, num_classes)`` class-count matrix.
+
+        The supported way for algorithms/defenses to read the federation's
+        label skew: lazy populations provide the same method without
+        materialising any client data, so callers must not reach for
+        ``dataset.clients`` directly.
+        """
+        return np.stack([c.class_counts for c in self.clients])
+
+    def eval_client_ids(self) -> list[int]:
+        """Client ids evaluated by the experiment runner (all of them here).
+
+        Lazy populations override this with a deterministic capped subset so
+        final evaluation stays O(evaluated clients) at 1e5+ scale.
+        """
+        return list(range(self.num_clients))
+
     def auxiliary_dataset(self, compromised_ids: list[int], source: str = "val") -> Dataset:
         """Pool the compromised clients' data into the attacker's auxiliary set Da.
 
@@ -62,21 +114,7 @@ class FederatedDataset:
         """
         if not compromised_ids:
             raise ValueError("need at least one compromised client")
-        if source not in {"val", "train", "all"}:
-            raise ValueError("source must be 'val', 'train' or 'all'")
-        parts: list[Dataset] = []
-        for c in compromised_ids:
-            client = self.clients[c]
-            if source == "val":
-                parts.append(client.val)
-            elif source == "train":
-                parts.append(client.train)
-            else:
-                parts.append(client.train.concat(client.test).concat(client.val))
-        pooled = parts[0]
-        for part in parts[1:]:
-            pooled = pooled.concat(part)
-        return pooled
+        return pool_client_datasets(self.client, compromised_ids, source=source)
 
     def auxiliary_class_counts(self, compromised_ids: list[int], source: str = "val") -> np.ndarray:
         """Class-count vector of the attacker's auxiliary dataset."""

@@ -40,7 +40,6 @@ produce the same result to the last ulp regardless of completion order.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -120,9 +119,9 @@ class Aggregator:
     overridable for folds that genuinely cannot decompose over slices, at
     the cost of staying single-fold.)
 
-    Back-compat: calling an aggregator with a bare ``np.random.Generator`` in
-    place of the context still works — the generator is wrapped into a
-    minimal :class:`AggregationContext` automatically.
+    Buffered-async rounds additionally route carried updates through
+    :meth:`discount_stale` before folding, so defenses can choose how a
+    stale update is down-weighted.
     """
 
     name = "aggregator"
@@ -193,20 +192,19 @@ class Aggregator:
         self,
         updates: np.ndarray,
         global_params: np.ndarray,
-        ctx: AggregationContext | np.random.Generator,
+        ctx: AggregationContext,
     ) -> np.ndarray:
         if updates.ndim != 2:
             raise ValueError("updates must be a (clients, dim) matrix")
         if updates.shape[0] == 0:
             raise ValueError("cannot aggregate an empty round")
         if isinstance(ctx, np.random.Generator):
-            warnings.warn(
-                "calling an Aggregator with a bare np.random.Generator is "
-                "deprecated; pass an AggregationContext instead",
-                DeprecationWarning,
-                stacklevel=2,
+            # The PR 1-era bare-generator call path warned for 8 PRs and is
+            # gone; fail loudly with the migration in the message.
+            raise TypeError(
+                "calling an Aggregator with a bare np.random.Generator is no "
+                "longer supported; wrap it with AggregationContext.from_rng(rng)"
             )
-            ctx = AggregationContext.from_rng(ctx)
         return self.aggregate(updates, global_params, ctx)
 
     # -- streaming protocol ------------------------------------------------
@@ -263,6 +261,35 @@ class Aggregator:
                 f"only {state.count} updates were accumulated"
             )
         return self._finalize(state, global_params, ctx)
+
+    # -- staleness (buffered-async aggregation) ----------------------------
+
+    def discount_stale(
+        self, update: "ClientUpdate", staleness: int, discount: float
+    ) -> "ClientUpdate":
+        """Staleness-weighted fold entry point for buffered-async rounds.
+
+        Called once per carried update, immediately before it enters
+        :meth:`accumulate` in its arrival round.  ``staleness`` is the
+        number of rounds the update sat in the carry buffer (≥ 1);
+        ``discount`` the server's configured per-round factor.  The default
+        scales the update *vector* by ``discount ** staleness`` (FedBuff-style
+        s(τ) weighting); defenses whose math weighs updates explicitly (the
+        weighted mean, example-count schemes) may override to discount the
+        aggregation weight instead of the vector.  Must return a new
+        ``ClientUpdate`` — the buffered original is the server's record of
+        what arrived.
+        """
+        if staleness <= 0:
+            return update
+        from dataclasses import replace
+
+        factor = float(discount) ** int(staleness)
+        return replace(
+            update,
+            update=update.update * factor,
+            metadata={**update.metadata, "staleness": int(staleness)},
+        )
 
     # -- streaming extension points (override these, not the protocol) -----
 

@@ -25,7 +25,7 @@ from repro.federated.server import FederatedServer, ServerConfig
 from repro.metrics.accuracy import evaluate_clients
 from repro.nn.layers import Flatten
 from repro.nn.model import Sequential
-from repro.registry import ALGORITHMS, ATTACKS, DATASETS, MODELS, TRIGGERS
+from repro.registry import ALGORITHMS, ATTACKS, DATASETS, MODELS, POPULATIONS, TRIGGERS
 
 
 def build_dataset(config: Scenario) -> tuple[FederatedDataset, object]:
@@ -35,6 +35,12 @@ def build_dataset(config: Scenario) -> tuple[FederatedDataset, object]:
     forwarded to the generator when its constructor accepts them, so new
     registered datasets pick up exactly the fields they understand;
     ``dataset_kwargs`` overrides win.
+
+    With ``config.population`` set, the eager federation is replaced by a
+    lazy :class:`~repro.federated.population.ClientPopulation` built over
+    the same generator — the scenario's data geometry becomes the
+    population's defaults, ``population_kwargs`` (cache size, eval cap)
+    override.  The returned object duck-types ``FederatedDataset``.
     """
     accepted = {p.name for p in DATASETS.describe(config.dataset)}
     common = {
@@ -45,6 +51,16 @@ def build_dataset(config: Scenario) -> tuple[FederatedDataset, object]:
     kwargs = {k: v for k, v in common.items() if k in accepted}
     kwargs.update(config.dataset_kwargs)
     generator = DATASETS.create(config.dataset, **kwargs)
+    if config.population is not None:
+        population = POPULATIONS.create(
+            (config.population, config.population_kwargs),
+            dataset=generator,
+            num_clients=config.num_clients,
+            samples_per_client=config.samples_per_client,
+            alpha=config.alpha,
+            seed=config.data_seed,
+        )
+        return population, generator
     dataset = build_federated_dataset(
         generator,
         num_clients=config.num_clients,
@@ -228,11 +244,23 @@ def run_experiment(
 
     eval_model = model_factory()
     compromised_set = set(compromised)
-    benign_ids = [c for c in range(dataset.num_clients) if c not in compromised_set]
+    # eval_client_ids() is the whole federation on an eager dataset and a
+    # deterministic capped subset on a lazy population, keeping the final
+    # evaluation O(evaluated clients) at 1e5+ scale.
+    benign_ids = [c for c in dataset.eval_client_ids() if c not in compromised_set]
 
+    # The scenario's participation spec wins; the sample_rate field is sugar
+    # for the uniform model (the model's min_clients default of 4 matches the
+    # historical ServerConfig floor, keeping seeded histories bit-identical).
+    participation = (
+        (config.participation, config.participation_kwargs)
+        if config.participation is not None
+        else ("uniform", {"sample_rate": config.sample_rate})
+    )
     server_config = ServerConfig(
         rounds=config.rounds,
-        sample_rate=config.sample_rate,
+        participation=participation,
+        aggregation_mode=config.aggregation_mode,
         server_lr=config.server_lr,
         seed=config.seed,
         local=config.local,

@@ -37,6 +37,8 @@ from repro.registry import (
     DATASETS,
     DEFENSES,
     MODELS,
+    PARTICIPATION,
+    POPULATIONS,
     TRIGGERS,
     Registry,
     parse_spec,
@@ -46,6 +48,9 @@ from repro.registry import (
 # Component fields resolved against a registry, with the field holding the
 # kwargs parsed out of a spec.  ``backend`` is handled separately because its
 # only kwarg (``max_workers``) maps onto the ``backend_workers`` field.
+# ``population`` and ``participation`` default to ``None`` (meaning "eager
+# dataset" / "uniform from sample_rate"); normalisation and validation skip
+# them when unset.
 _COMPONENT_FIELDS: dict[str, tuple[Registry, str]] = {
     "dataset": (DATASETS, "dataset_kwargs"),
     "model": (MODELS, "model_kwargs"),
@@ -53,6 +58,8 @@ _COMPONENT_FIELDS: dict[str, tuple[Registry, str]] = {
     "attack": (ATTACKS, "attack_kwargs"),
     "trigger": (TRIGGERS, "trigger_kwargs"),
     "defense": (DEFENSES, "defense_kwargs"),
+    "population": (POPULATIONS, "population_kwargs"),
+    "participation": (PARTICIPATION, "participation_kwargs"),
 }
 
 
@@ -77,6 +84,8 @@ class Scenario:
     num_classes: int = 10
     image_size: int = 16
     data_seed: int = 0
+    population: str | None = None       # lazy population spec (None = eager dataset)
+    population_kwargs: dict = field(default_factory=dict)
 
     # Model
     model: str = "mlp"
@@ -87,7 +96,10 @@ class Scenario:
     algorithm: str = "fedavg"
     algorithm_kwargs: dict = field(default_factory=dict)
     rounds: int = 15
-    sample_rate: float = 0.3
+    sample_rate: float = 0.3            # uniform-q sugar; participation overrides
+    participation: str | None = None    # participation-model spec (None = uniform)
+    participation_kwargs: dict = field(default_factory=dict)
+    aggregation_mode: str = "sync"      # "sync" | "buffered_async[:k=v,...]" spec
     server_lr: float = 1.0
     local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
     seed: int = 0
@@ -136,6 +148,8 @@ class Scenario:
         """
         for component, (_registry, kwargs_field) in _COMPONENT_FIELDS.items():
             spec = getattr(self, component)
+            if spec is None:
+                continue  # optional component left unset
             if isinstance(spec, str) and ":" not in spec:
                 continue  # bare name: nothing to do
             spec_name, spec_kwargs = parse_spec(spec)
@@ -186,6 +200,8 @@ class Scenario:
             value = getattr(self, component)
             if component == "attack" and value == "none":
                 continue
+            if value is None and component in ("population", "participation"):
+                continue
             registry.validate(value)
         BACKENDS.validate(self.backend)
         if self.model == "text" and self.dataset != "sentiment":
@@ -228,6 +244,30 @@ class Scenario:
             )
         if not isinstance(self.num_shards, int) or self.num_shards < 1:
             raise ValueError("num_shards must be a positive integer")
+        mode, mode_kwargs = parse_spec(self.aggregation_mode)
+        if mode not in ("sync", "buffered_async"):
+            raise ValueError(
+                f"aggregation_mode must be 'sync' or 'buffered_async', got {mode!r}"
+            )
+        if mode == "sync" and mode_kwargs:
+            raise ValueError("aggregation_mode 'sync' takes no arguments")
+        if mode == "buffered_async":
+            unknown = sorted(set(mode_kwargs) - {"buffer_size", "staleness_discount"})
+            if unknown:
+                raise ValueError(
+                    f"unknown buffered_async argument(s) {unknown}; "
+                    "accepted: ['buffer_size', 'staleness_discount']"
+                )
+            if self.secure_aggregation:
+                raise ValueError(
+                    "buffered_async is incompatible with secure aggregation "
+                    "(pairwise masks only cancel within one round's cohort)"
+                )
+            if self.streaming == "off":
+                raise ValueError(
+                    "buffered_async folds arrivals online; use "
+                    "streaming='auto' or 'on'"
+                )
         if self.secure_aggregation:
             from repro.federated.secagg import PlaintextRequiredError
 
@@ -303,6 +343,8 @@ class Scenario:
             self.num_classes,
             self.image_size,
             self.data_seed,
+            self.population,
+            json.dumps(self.population_kwargs, sort_keys=True),
         )
 
     def run(self, hooks=None, prebuilt_data=None):

@@ -38,6 +38,17 @@ from repro.federated.engine import (
     make_backend,
 )
 from repro.federated.history import RoundRecord, TrainingHistory
+from repro.federated.population import (
+    ChurnParticipation,
+    ClientPopulation,
+    ParticipationContext,
+    ParticipationModel,
+    ParticipationRound,
+    SyntheticPopulation,
+    TieredParticipation,
+    UniformParticipation,
+    uniform_sample,
+)
 from repro.federated.rng import client_rng, client_stream_seed, personalization_seed
 from repro.federated.sampling import sample_clients
 from repro.federated.server import FederatedServer, ServerConfig
@@ -52,6 +63,15 @@ __all__ = [
     "RoundRecord",
     "TrainingHistory",
     "sample_clients",
+    "uniform_sample",
+    "ClientPopulation",
+    "SyntheticPopulation",
+    "ParticipationModel",
+    "ParticipationContext",
+    "ParticipationRound",
+    "UniformParticipation",
+    "ChurnParticipation",
+    "TieredParticipation",
     "FederatedServer",
     "ServerConfig",
     "ExecutionBackend",

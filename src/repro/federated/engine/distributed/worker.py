@@ -98,9 +98,9 @@ def build_context(payload: dict) -> _WorkerContext:
     if hasattr(algorithm, "set_label_distributions"):
         # Mirrors FederatedServer.__init__; harmless for the benign path but
         # keeps worker-side algorithm state indistinguishable from driver's.
-        algorithm.set_label_distributions(
-            np.stack([c.class_counts for c in dataset.clients])
-        )
+        # label_distributions() works on eager datasets and lazy populations
+        # alike (the population derives it from metadata, no materialisation).
+        algorithm.set_label_distributions(dataset.label_distributions())
     engine = EngineContext(
         dataset=dataset,
         model_factory=model_factory,

@@ -211,6 +211,14 @@ class LedgerHook(RoundHook):
         fields = {"order": update.slot, "client": update.client_id, "loss": update.loss}
         if update.metadata.get("secagg_masked"):
             fields["masked"] = True
+        # Buffered-async carried updates fire on_update in the round they
+        # *arrive* (plan.round_idx), not the round that computed them — a
+        # straggler's bytes reach the server late, and the ledger attributes
+        # them to the arrival round exactly once.  The frame carries the
+        # origin round so tooling can see the staleness on the wire.
+        origin = update.metadata.get("origin_round")
+        if origin is not None and origin != plan.round_idx:
+            fields["origin_round"] = origin
         header, payload = message_size(
             fields, {"update": int(update.update.shape[0])}, dtype=self.wire_dtype
         )

@@ -41,11 +41,20 @@ class ClientTask:
 
 @dataclass(frozen=True)
 class RoundPlan:
-    """Immutable description of one federated round's client work."""
+    """Immutable description of one federated round's client work.
+
+    ``latencies`` (aligned with ``sampled_clients``; empty means all-zero)
+    are the participation model's deterministic per-(seed, round, client)
+    latency draws.  Execution backends ignore them — they only order
+    *aggregation* under ``aggregation_mode="buffered_async"``, where the
+    server folds the first K arrivals by ``(latency, slot)`` and carries the
+    rest into the next round.
+    """
 
     round_idx: int
     sampled_clients: tuple[int, ...]
     tasks: tuple[ClientTask, ...]
+    latencies: tuple[float, ...] = ()
 
     @property
     def benign_tasks(self) -> tuple[ClientTask, ...]:
@@ -132,9 +141,13 @@ def build_round_plan(
     compromised_ids: set[int] | frozenset[int],
     seed: int,
     attack_active: bool,
+    latencies: Iterable[float] | None = None,
 ) -> RoundPlan:
     """Build the task list for one round in aggregation order."""
     sampled = tuple(int(c) for c in sampled_clients)
+    lat = tuple(float(x) for x in latencies) if latencies else ()
+    if lat and len(lat) != len(sampled):
+        raise ValueError("latencies must align with sampled_clients")
     tasks = tuple(
         ClientTask(
             client_id=client_id,
@@ -145,4 +158,6 @@ def build_round_plan(
         )
         for order, client_id in enumerate(sampled)
     )
-    return RoundPlan(round_idx=round_idx, sampled_clients=sampled, tasks=tasks)
+    return RoundPlan(
+        round_idx=round_idx, sampled_clients=sampled, tasks=tasks, latencies=lat
+    )

@@ -1,0 +1,30 @@
+"""Lazy client populations and participation models.
+
+See :mod:`repro.federated.population.base` (the ``ClientPopulation``
+abstraction and the ``populations`` registry family) and
+:mod:`repro.federated.population.participation` (the ``ParticipationModel``
+API and the ``participation`` registry family).
+"""
+
+from repro.federated.population.base import ClientPopulation, SyntheticPopulation
+from repro.federated.population.participation import (
+    ChurnParticipation,
+    ParticipationContext,
+    ParticipationModel,
+    ParticipationRound,
+    TieredParticipation,
+    UniformParticipation,
+    uniform_sample,
+)
+
+__all__ = [
+    "ClientPopulation",
+    "SyntheticPopulation",
+    "ParticipationContext",
+    "ParticipationModel",
+    "ParticipationRound",
+    "UniformParticipation",
+    "ChurnParticipation",
+    "TieredParticipation",
+    "uniform_sample",
+]

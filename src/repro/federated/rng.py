@@ -30,6 +30,28 @@ PERSONALIZATION_PRIME = 31
 #: other SeedSequence-derived stream a future subsystem might add.
 SECAGG_PAIR_TAG = 0x5EC466
 
+#: Domain-separation tag of lazy client-population streams: everything a
+#: :class:`~repro.federated.population.ClientPopulation` draws per client —
+#: dataset size, label mix — comes from ``(seed, client_id, POPULATION_TAG)``,
+#: so a client's shard is a pure function of ``(seed, cid)`` and re-deriving
+#: after an LRU eviction reproduces it bit-identically.
+POPULATION_TAG = 0x909
+
+#: Domain-separation tag of participation-model streams (availability,
+#: churn sessions, device-tier assignment, permanent dropout).  These run on
+#: their own tagged streams — never the server's round RNG — so switching a
+#: run from ``uniform`` to a churn/tiered model cannot shift the server
+#: stream that the ``uniform`` bit-identity guarantee pins.
+PARTICIPATION_TAG = 0x9A47
+
+#: Domain-separation tag of per-round latency draws.  Each round derives one
+#: stream from ``(seed, round_idx, LATENCY_TAG)`` and draws a full
+#: population-length vector from it, so the latency of client ``cid`` in
+#: round ``t`` is deterministic in ``(seed, t, cid)`` and independent of who
+#: else was sampled — which is what keeps buffered-async arrival order
+#: bit-identical across execution backends.
+LATENCY_TAG = 0x1A7E
+
 #: Entropy words handed to SeedSequence must be non-negative; run seeds are
 #: plain Python ints, so they are reduced into the 64-bit word the sequence
 #: mixes.  Collisions would need seeds 2**64 apart — not a practical concern.
@@ -81,3 +103,48 @@ def pair_mask_rng(
 ) -> np.random.Generator:
     """Fresh generator for one pair's secure-aggregation mask stream."""
     return np.random.default_rng(pair_mask_seed_sequence(seed, round_idx, client_a, client_b))
+
+
+def population_seed_sequence(seed: int, client_id: int) -> np.random.SeedSequence:
+    """Seed sequence of one lazy-population client's metadata/data stream."""
+    return np.random.SeedSequence(
+        (int(seed) & _SEED_WORD_MASK, int(client_id), POPULATION_TAG)
+    )
+
+
+def population_rng(seed: int, client_id: int) -> np.random.Generator:
+    """Fresh generator for one lazy-population client's stream."""
+    return np.random.default_rng(population_seed_sequence(seed, client_id))
+
+
+def participation_seed_sequence(
+    seed: int, round_idx: int, domain: int
+) -> np.random.SeedSequence:
+    """Seed sequence of one participation-model stream.
+
+    ``domain`` separates the model's independent concerns (sampling mask,
+    availability sessions, tier assignment, permanent dropout — constants in
+    :mod:`repro.federated.population.participation`); ``round_idx`` is the
+    round or session index the stream belongs to, ``0`` for run-constant
+    draws such as tier assignment.
+    """
+    return np.random.SeedSequence(
+        (int(seed) & _SEED_WORD_MASK, int(round_idx), int(domain), PARTICIPATION_TAG)
+    )
+
+
+def participation_rng(seed: int, round_idx: int, domain: int) -> np.random.Generator:
+    """Fresh generator for one participation-model stream."""
+    return np.random.default_rng(participation_seed_sequence(seed, round_idx, domain))
+
+
+def latency_seed_sequence(seed: int, round_idx: int) -> np.random.SeedSequence:
+    """Seed sequence of one round's client-latency draw stream."""
+    return np.random.SeedSequence(
+        (int(seed) & _SEED_WORD_MASK, int(round_idx), LATENCY_TAG)
+    )
+
+
+def latency_rng(seed: int, round_idx: int) -> np.random.Generator:
+    """Fresh generator for one round's client-latency draws."""
+    return np.random.default_rng(latency_seed_sequence(seed, round_idx))

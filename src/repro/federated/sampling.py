@@ -1,14 +1,20 @@
-"""Client sampling for each federated round.
+"""Deprecated client-sampling entry point.
 
-Sampling consumes the *server's* RNG stream (not the per-client streams
-derived in :mod:`repro.federated.rng`), so the sampled set for round ``t`` is
-a pure function of the run seed and the number of preceding rounds — which is
-what lets every execution backend replay identical round plans.
+The sampler moved behind the participation API: the logic lives in
+:func:`repro.federated.population.participation.uniform_sample` (as the
+``uniform`` participation model's internals), and ``FederatedServer``
+consumes a :class:`~repro.federated.population.ParticipationModel` instead
+of calling this module.  ``sample_clients`` remains as a thin shim for
+external callers and warns on use.
 """
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
+
+from repro.federated.population.participation import uniform_sample
 
 __all__ = ["sample_clients"]
 
@@ -19,20 +25,18 @@ def sample_clients(
     rng: np.random.Generator,
     min_clients: int = 2,
 ) -> np.ndarray:
-    """Sample a subset of client ids for one round.
+    """Deprecated: use the ``uniform`` participation model.
 
-    The paper samples each client independently with probability ``q``
-    (q = 1% at paper scale).  To keep small simulations meaningful we enforce
-    a floor of ``min_clients`` sampled clients per round.  The returned ids
-    are sorted, which fixes the round's aggregation order across backends.
+    Identical behaviour to :func:`~repro.federated.population.participation.
+    uniform_sample` (this is the same code path, including the pinned
+    conditional min-floor RNG consumption); only the import location is
+    deprecated.
     """
-    if num_clients <= 0:
-        raise ValueError("num_clients must be positive")
-    if not 0.0 < sample_rate <= 1.0:
-        raise ValueError("sample_rate must be in (0, 1]")
-    mask = rng.random(num_clients) < sample_rate
-    selected = np.flatnonzero(mask)
-    if selected.size < min(min_clients, num_clients):
-        extra = rng.choice(num_clients, size=min(min_clients, num_clients), replace=False)
-        selected = np.union1d(selected, extra)
-    return selected.astype(np.int64)
+    warnings.warn(
+        "repro.federated.sampling.sample_clients is deprecated; use the "
+        "'uniform' participation model (repro.federated.population."
+        "participation.uniform_sample) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return uniform_sample(num_clients, sample_rate, rng, min_clients=min_clients)

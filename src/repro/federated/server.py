@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import warnings
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -25,17 +25,45 @@ from repro.federated.algorithms.base import FederatedAlgorithm
 from repro.federated.client import LocalTrainingConfig
 from repro.federated.engine.backends import EngineContext, ExecutionBackend, make_backend
 from repro.federated.engine.hooks import EvaluationHook, HookPipeline, RoundHook
-from repro.federated.engine.plan import build_round_plan
+from repro.federated.engine.plan import ClientUpdate, build_round_plan
 from repro.federated.engine.sharding import maybe_shard
 from repro.federated.history import RoundRecord, TrainingHistory
+from repro.federated.population.participation import (
+    ParticipationContext,
+    ParticipationModel,
+)
 from repro.federated.rng import personalization_seed
-from repro.federated.sampling import sample_clients
 from repro.nn.serialization import flatten_params
+from repro.registry import PARTICIPATION, parse_spec
+
+
+#: Aggregation-mode spec kwargs accepted by ``buffered_async``.
+_BUFFERED_ASYNC_KWARGS = {"buffer_size", "staleness_discount"}
 
 
 @dataclass
 class ServerConfig:
     """Hyper-parameters of the federated training run.
+
+    ``participation`` selects the round-sampling model as a registry spec
+    (``"uniform:sample_rate=0.1"``, ``("tiered", {...})`` — see
+    ``repro list participation``).  The historical ``sample_rate`` /
+    ``min_sampled_clients`` scalars are deprecated shims: setting either
+    warns and builds the equivalent ``uniform`` spec (they cannot be
+    combined with ``participation``).  Leaving everything unset means
+    ``uniform`` with the historical defaults (q = 0.2, floor 4), which is —
+    and must remain — bit-identical to every pre-participation-API history.
+
+    ``aggregation_mode`` is ``"sync"`` (the paper's Algorithm 1: every
+    sampled update folds into its own round) or a ``"buffered_async"`` spec
+    (FedBuff-style): each round folds the carried updates from the previous
+    round plus the first ``buffer_size`` arrivals — arrival order given by
+    the participation model's latency draws — and carries the stragglers
+    into the next round, down-weighted by ``staleness_discount ** staleness``
+    (:meth:`~repro.defenses.base.Aggregator.discount_stale`).  Buffered
+    rounds always use the streaming fold and are bit-identical per seed on
+    every backend; secure aggregation is rejected (pairwise masks only
+    cancel within one round's full cohort).
 
     ``streaming`` picks how client updates reach the aggregator:
     ``"off"`` buffers the whole round and aggregates the stacked matrix
@@ -64,27 +92,100 @@ class ServerConfig:
     """
 
     rounds: int = 20
-    sample_rate: float = 0.2
+    sample_rate: float | None = None
     server_lr: float = 1.0
     seed: int = 0
-    min_sampled_clients: int = 4
+    min_sampled_clients: int | None = None
     local: LocalTrainingConfig = field(default_factory=LocalTrainingConfig)
     eval_every: int | None = None
     streaming: str = "auto"
     num_shards: int = 1
     secure_aggregation: bool = False
+    participation: object | None = None
+    aggregation_mode: object = "sync"
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
             raise ValueError("rounds must be positive")
-        if not 0.0 < self.sample_rate <= 1.0:
+        legacy_scalars = self.sample_rate is not None or self.min_sampled_clients is not None
+        if legacy_scalars and self.participation is not None:
+            raise ValueError(
+                "pass either a participation spec or the deprecated "
+                "sample_rate/min_sampled_clients scalars, not both"
+            )
+        if legacy_scalars:
+            # stacklevel 3: warn → __post_init__ → generated __init__ → caller.
+            warnings.warn(
+                "ServerConfig.sample_rate/min_sampled_clients are deprecated; "
+                "use participation='uniform:sample_rate=...,min_clients=...'",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if self.sample_rate is not None and not 0.0 < self.sample_rate <= 1.0:
             raise ValueError("sample_rate must be in (0, 1]")
+        if self.min_sampled_clients is not None and self.min_sampled_clients < 1:
+            raise ValueError("min_sampled_clients must be at least 1")
+        if self.participation is not None:
+            parse_spec(self.participation)  # fail fast on malformed specs
         if self.server_lr <= 0:
             raise ValueError("server_lr must be positive")
         if self.streaming not in ("auto", "on", "off"):
             raise ValueError("streaming must be 'auto', 'on' or 'off'")
         if self.num_shards < 1:
             raise ValueError("num_shards must be positive")
+        mode, mode_kwargs = self.aggregation_spec()
+        if mode not in ("sync", "buffered_async"):
+            raise ValueError(
+                f"aggregation_mode must be 'sync' or 'buffered_async', got {mode!r}"
+            )
+        unknown = sorted(set(mode_kwargs) - _BUFFERED_ASYNC_KWARGS)
+        if mode == "sync" and mode_kwargs:
+            raise ValueError("aggregation_mode 'sync' takes no arguments")
+        if unknown:
+            raise ValueError(
+                f"unknown buffered_async argument(s) {unknown}; "
+                f"accepted: {sorted(_BUFFERED_ASYNC_KWARGS)}"
+            )
+        buffer_size = mode_kwargs.get("buffer_size")
+        if buffer_size is not None and (
+            not isinstance(buffer_size, int) or buffer_size < 1
+        ):
+            raise ValueError("buffer_size must be a positive integer")
+        discount = mode_kwargs.get("staleness_discount", 0.5)
+        if not 0.0 < float(discount) <= 1.0:
+            raise ValueError("staleness_discount must be in (0, 1]")
+        if mode == "buffered_async":
+            if self.secure_aggregation:
+                raise ValueError(
+                    "buffered_async is incompatible with secure aggregation: "
+                    "pairwise masks only cancel within one round's full "
+                    "cohort, and carried updates fold in a later round"
+                )
+            if self.streaming == "off":
+                raise ValueError(
+                    "buffered_async folds arrivals online and has no matrix "
+                    "path; use streaming='auto' or 'on'"
+                )
+
+    def participation_spec(self) -> tuple[str, dict]:
+        """Normalised ``(name, kwargs)`` participation spec of this config.
+
+        Resolves the deprecated scalars into the equivalent ``uniform`` spec;
+        the model's own defaults (q = 0.2, floor 4) fill anything unset, so
+        a default config samples exactly as it always has.
+        """
+        if self.participation is not None:
+            return parse_spec(self.participation)
+        kwargs: dict = {}
+        if self.sample_rate is not None:
+            kwargs["sample_rate"] = self.sample_rate
+        if self.min_sampled_clients is not None:
+            kwargs["min_clients"] = self.min_sampled_clients
+        return ("uniform", kwargs)
+
+    def aggregation_spec(self) -> tuple[str, dict]:
+        """Normalised ``(mode, kwargs)`` aggregation-mode spec."""
+        return parse_spec(self.aggregation_mode)
 
 
 class FederatedServer:
@@ -102,11 +203,26 @@ class FederatedServer:
         eval_fn: Callable[[np.ndarray, int], dict] | None = None,
         backend: ExecutionBackend | str | None = None,
         hooks: Sequence[RoundHook] | None = None,
+        participation: ParticipationModel | None = None,
     ) -> None:
         self.dataset = dataset
         self.model_factory = model_factory
         self.algorithm = algorithm
         self.config = config
+        # The participation model owns round sampling; an instance can be
+        # injected directly (tests, custom traces), otherwise it is built
+        # from the config's spec (which resolves the deprecated scalars).
+        self.participation = (
+            participation
+            if participation is not None
+            else PARTICIPATION.create(config.participation_spec())
+        )
+        mode, mode_kwargs = config.aggregation_spec()
+        self._buffered_async = mode == "buffered_async"
+        self._buffer_size: int | None = mode_kwargs.get("buffer_size")
+        self._staleness_discount = float(mode_kwargs.get("staleness_discount", 0.5))
+        #: Updates that missed their round's buffer, folding next round.
+        self._carry: list[ClientUpdate] = []
         # Shard-capable defenses fold across a worker pool when the config
         # asks for it; everything else keeps the single-fold path unchanged.
         defense = aggregator or MeanAggregator()
@@ -149,9 +265,9 @@ class FederatedServer:
         self.global_params = flatten_params(self._worker_model)
         self.algorithm.init_state(dataset.num_clients, self.global_params.shape[0])
         if hasattr(self.algorithm, "set_label_distributions"):
-            self.algorithm.set_label_distributions(
-                np.stack([c.class_counts for c in dataset.clients])
-            )
+            # label_distributions() is the lazy-population-safe accessor
+            # (metadata only, no client data materialisation).
+            self.algorithm.set_label_distributions(dataset.label_distributions())
         self.history = TrainingHistory()
         self._closed = False
 
@@ -187,35 +303,6 @@ class FederatedServer:
             # Always first, so user hooks observe records with metrics filled
             # in — even when eval_fn is (re)assigned after construction.
             self.hooks.insert(0, self._eval_hook)
-
-    @property
-    def eval_fn(self) -> Callable[[np.ndarray, int], dict] | None:
-        """Deprecated accessor for the evaluation callable.
-
-        Kept for backward compatibility: assigning ``server.eval_fn = fn``
-        (the historical monkey-patch) re-registers the evaluation hook
-        instead of bypassing the pipeline.  Evaluation only fires when
-        ``config.eval_every`` is set, as before.  New code should pass
-        ``eval_fn`` to the constructor or register an
-        :class:`~repro.federated.engine.hooks.EvaluationHook` directly.
-        """
-        warnings.warn(
-            "FederatedServer.eval_fn is deprecated; pass eval_fn to the "
-            "constructor or register an EvaluationHook on server.hooks",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self._eval_hook.eval_fn if self._eval_hook is not None else None
-
-    @eval_fn.setter
-    def eval_fn(self, fn: Callable[[np.ndarray, int], dict] | None) -> None:
-        warnings.warn(
-            "assigning FederatedServer.eval_fn is deprecated; pass eval_fn "
-            "to the constructor or register an EvaluationHook on server.hooks",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self._install_eval_fn(fn)
 
     def add_hook(self, hook: RoundHook) -> RoundHook:
         """Register a round hook; returns it for chaining."""
@@ -294,6 +381,89 @@ class FederatedServer:
         }
         return aggregated, benign_losses, benign_updates_by_client
 
+    def _collect_buffered_async(self, plan, round_idx):
+        """FedBuff-style round: fold carried + first-K arrivals, carry the rest.
+
+        Arrival order is ``(latency, slot)`` over the plan's deterministic
+        latency draws (all-zero when the participation model has no latency
+        model, degenerating to slot order).  The fold set is the previous
+        round's carried updates — each passed through
+        :meth:`~repro.defenses.base.Aggregator.discount_stale` — followed by
+        this round's first ``buffer_size`` arrivals; fold slots are assigned
+        in that order, so the existing slot-ordered ``accumulate`` machinery
+        makes the result bit-identical across execution backends regardless
+        of completion order.  Late arrivals are stashed (with their origin
+        round) and neither folded nor shown to hooks until the round they
+        actually arrive in — which is what gives the communication ledger
+        correct per-round attribution.
+        """
+        latencies = plan.latencies or (0.0,) * len(plan)
+        arrival = sorted(range(len(plan)), key=lambda s: (latencies[s], s))
+        k = self._buffer_size if self._buffer_size is not None else len(plan)
+        on_time = arrival[:k]
+        carried, self._carry = self._carry, []
+
+        fold_clients = tuple(u.client_id for u in carried) + tuple(
+            plan.sampled_clients[s] for s in on_time
+        )
+        ctx = AggregationContext(
+            rng=self._rng,
+            round_idx=round_idx,
+            sampled_clients=fold_clients,
+            extras={"aggregation_mode": "buffered_async", "carried": len(carried)},
+        )
+        state = self.aggregator.begin_round(ctx)
+        retain = self.hooks.wants_collected_results() or self._algorithm_consumes_updates()
+        retained: list = []
+        benign_losses_by_slot: dict[int, float] = {}
+
+        def fold(update: ClientUpdate) -> None:
+            self.hooks.update(self, plan, update)
+            self.aggregator.accumulate(state, update)
+            if not update.malicious:
+                benign_losses_by_slot[update.slot] = update.loss
+            if retain:
+                retained.append(update)
+
+        # Carried updates arrive first: they were already computed and only
+        # waited for this round's buffer to open.
+        for fold_slot, update in enumerate(carried):
+            staleness = round_idx - update.metadata["origin_round"]
+            discounted = self.aggregator.discount_stale(
+                update, staleness, self._staleness_discount
+            )
+            fold(replace(discounted, slot=fold_slot))
+
+        fold_slot_of = {
+            plan_slot: len(carried) + rank for rank, plan_slot in enumerate(on_time)
+        }
+        for update in self.backend.iter_updates(plan, self.global_params):
+            fold_slot = fold_slot_of.get(update.slot)
+            if fold_slot is None:
+                # A straggler: carry it (in arrival-rank order) to next round.
+                self._carry.append(
+                    replace(
+                        update, metadata={**update.metadata, "origin_round": round_idx}
+                    )
+                )
+                continue
+            fold(replace(update, slot=fold_slot))
+        # Carried updates queue in arrival-rank (latency) order, not in the
+        # backend's completion order, so next round's fold is deterministic.
+        late_rank = {
+            plan.sampled_clients[s]: rank for rank, s in enumerate(arrival[k:])
+        }
+        self._carry.sort(key=lambda u: late_rank[u.client_id])
+
+        retained.sort(key=lambda u: u.slot)
+        self.hooks.updates_collected(self, plan, retained)
+        aggregated = self.aggregator.finalize(state, self.global_params, ctx)
+        benign_losses = [benign_losses_by_slot[s] for s in sorted(benign_losses_by_slot)]
+        benign_updates_by_client = {
+            u.client_id: u.update for u in retained if not u.malicious
+        }
+        return ctx, aggregated, benign_losses, benign_updates_by_client
+
     def run_round(self) -> RoundRecord:
         """Execute a single federated round and return its record."""
         round_idx = len(self.history)
@@ -301,28 +471,38 @@ class FederatedServer:
         # (the pool backends recreate their executors lazily), so the next
         # close() must actually release them again.
         self._closed = False
-        sampled = sample_clients(
-            self.dataset.num_clients,
-            self.config.sample_rate,
-            self._rng,
-            min_clients=self.config.min_sampled_clients,
+        part = self.participation.sample_round(
+            ParticipationContext(
+                num_clients=self.dataset.num_clients,
+                seed=self.config.seed,
+                round_idx=round_idx,
+                rng=self._rng,
+            )
         )
         plan = build_round_plan(
             round_idx,
-            sampled,
+            part.sampled,
             self.compromised_ids,
             self.config.seed,
             attack_active=self.attack is not None,
+            latencies=part.latencies,
         )
         self.hooks.round_start(self, plan)
 
-        ctx = AggregationContext(
-            rng=self._rng,
-            round_idx=round_idx,
-            sampled_clients=plan.sampled_clients,
-        )
-        collect = self._collect_streaming if self._streaming_round() else self._collect_buffered
-        aggregated, benign_losses, benign_updates_by_client = collect(plan, ctx)
+        if self._buffered_async:
+            ctx, aggregated, benign_losses, benign_updates_by_client = (
+                self._collect_buffered_async(plan, round_idx)
+            )
+        else:
+            ctx = AggregationContext(
+                rng=self._rng,
+                round_idx=round_idx,
+                sampled_clients=plan.sampled_clients,
+            )
+            collect = (
+                self._collect_streaming if self._streaming_round() else self._collect_buffered
+            )
+            aggregated, benign_losses, benign_updates_by_client = collect(plan, ctx)
 
         self.global_params = self.global_params + self.config.server_lr * aggregated
         self.algorithm.post_aggregate(self.global_params, benign_updates_by_client)
@@ -335,6 +515,12 @@ class FederatedServer:
             mean_benign_loss=float(np.mean(benign_losses)) if benign_losses else 0.0,
             update_norm=float(np.linalg.norm(aggregated)),
         )
+        if self._buffered_async:
+            record.extras["buffered_async"] = {
+                "folded": len(ctx.sampled_clients),
+                "carried_in": int(ctx.extras.get("carried", 0)),
+                "carried_out": len(self._carry),
+            }
         self.history.append(record)
         self.hooks.round_end(self, plan, record)
         return record

@@ -402,6 +402,16 @@ BACKENDS = Registry(
     ),
 )
 
+POPULATIONS = Registry(
+    "population",
+    load_from=("repro.federated.population.base",),
+)
+
+PARTICIPATION = Registry(
+    "participation",
+    load_from=("repro.federated.population.participation",),
+)
+
 CHECKERS = Registry(
     "checker",
     load_from=(
@@ -427,5 +437,7 @@ __all__ = [
     "TRIGGERS",
     "DEFENSES",
     "BACKENDS",
+    "POPULATIONS",
+    "PARTICIPATION",
     "CHECKERS",
 ]

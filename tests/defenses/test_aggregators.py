@@ -250,10 +250,9 @@ class TestCRFL:
 
 
 class TestLegacyGeneratorShim:
-    def test_bare_generator_call_warns_and_still_aggregates(self, benign_updates):
-        with pytest.warns(DeprecationWarning, match="AggregationContext"):
-            out = MeanAggregator()(benign_updates, GLOBAL, np.random.default_rng(0))
-        np.testing.assert_allclose(out, benign_updates.mean(axis=0))
+    def test_bare_generator_call_is_rejected(self, benign_updates):
+        with pytest.raises(TypeError, match="AggregationContext.from_rng"):
+            MeanAggregator()(benign_updates, GLOBAL, np.random.default_rng(0))
 
 
 def _stream(aggregator, updates, global_params, ctx, order=None):

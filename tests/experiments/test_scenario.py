@@ -155,6 +155,36 @@ class TestValidation:
         scenario = Scenario(num_shards=4)
         assert Scenario.from_dict(scenario.to_dict()).num_shards == 4
 
+    def test_participation_spec_normalizes_and_validates(self):
+        scenario = Scenario(participation="churn:availability=0.7")
+        assert scenario.participation == "churn"
+        assert scenario.participation_kwargs == {"availability": 0.7}
+        with pytest.raises(ValueError, match="available:"):
+            Scenario(participation="poisson")
+
+    def test_population_spec_normalizes_and_validates(self):
+        scenario = Scenario(population="synthetic:cache_size=16")
+        assert scenario.population == "synthetic"
+        assert scenario.population_kwargs == {"cache_size": 16}
+        with pytest.raises(ValueError, match="available:"):
+            Scenario(population="trace")
+
+    def test_aggregation_mode_validation(self):
+        assert Scenario(aggregation_mode="buffered_async:buffer_size=4").rounds
+        with pytest.raises(ValueError, match="aggregation_mode"):
+            Scenario(aggregation_mode="warp")
+        with pytest.raises(ValueError, match="buffered_async"):
+            Scenario(aggregation_mode="buffered_async:bogus=1")
+        with pytest.raises(ValueError, match="secure aggregation"):
+            Scenario(aggregation_mode="buffered_async", secure_aggregation=True)
+        with pytest.raises(ValueError, match="streaming"):
+            Scenario(aggregation_mode="buffered_async", streaming="off")
+
+    def test_population_changes_data_signature(self):
+        eager = Scenario()
+        lazy = Scenario(population="synthetic")
+        assert eager.data_signature() != lazy.data_signature()
+
     def test_sentiment_normalization_is_explicit_and_identical(self):
         scenario = Scenario(dataset="sentiment", num_classes=10)
         assert scenario.num_classes == 2
@@ -202,6 +232,28 @@ class TestJsonRoundTrip:
         assert first.history.to_dict() == second.history.to_dict()
         assert first.evaluation.as_dict() == second.evaluation.as_dict()
 
+    def test_participation_fields_round_trip(self):
+        scenario = tiny_scenario(
+            attack="none",
+            population="synthetic:cache_size=16,eval_clients=4",
+            participation="tiered:sample_rate=0.5,jitter=0.1",
+            aggregation_mode="buffered_async:buffer_size=2",
+        )
+        restored = Scenario.from_json(scenario.to_json())
+        assert restored == scenario
+        assert restored.population_kwargs == {"cache_size": 16, "eval_clients": 4}
+        assert restored.participation_kwargs == {"sample_rate": 0.5, "jitter": 0.1}
+        assert restored.aggregation_mode == "buffered_async:buffer_size=2"
+
+    def test_legacy_sample_rate_form_round_trips(self):
+        # Scenarios without the new fields (pre-participation-API JSON) load
+        # and re-serialise unchanged; sample_rate remains the uniform sugar.
+        data = tiny_scenario(sample_rate=0.4).to_dict()
+        assert data["participation"] is None
+        restored = Scenario.from_dict(data)
+        assert restored.sample_rate == 0.4
+        assert restored.to_dict() == data
+
     def test_history_serialization_round_trip(self):
         history = run_experiment(tiny_scenario(eval_every=2)).history
         restored = TrainingHistory.from_dict(history.to_dict())
@@ -219,3 +271,33 @@ class TestRun:
             scenario.run().history.records
             == run_experiment(scenario).history.records
         )
+
+    def test_population_scenario_runs_end_to_end(self):
+        # A lazy population with churn + stragglers under buffered-async
+        # aggregation: the full runner path (attack included) must work
+        # without ever materialising more clients than the cache holds.
+        scenario = tiny_scenario(
+            num_clients=64,
+            population="synthetic:cache_size=8,eval_clients=4",
+            participation="tiered:sample_rate=0.1,min_clients=3",
+            aggregation_mode="buffered_async:buffer_size=2",
+        )
+        result = run_experiment(scenario)
+        dataset = result.extras["dataset"]
+        assert dataset.num_clients == 64
+        assert dataset.cache_info()["size"] <= 8
+        assert len(result.history) == 2
+        assert all(
+            "buffered_async" in r.extras for r in result.history.records
+        )
+
+    def test_population_uniform_run_is_deterministic(self):
+        scenario = tiny_scenario(
+            attack="none",
+            num_clients=32,
+            population="synthetic:cache_size=8,eval_clients=4",
+        )
+        a = run_experiment(scenario)
+        b = run_experiment(scenario)
+        assert a.history.records == b.history.records
+        assert a.evaluation.as_dict() == b.evaluation.as_dict()

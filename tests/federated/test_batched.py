@@ -39,7 +39,7 @@ def _make_server(
 ):
     config = ServerConfig(
         rounds=rounds,
-        sample_rate=sample_rate,
+        participation=("uniform", {"sample_rate": sample_rate}),
         seed=2,
         local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
     )
@@ -163,7 +163,7 @@ class TestBatchedBitIdentity:
             small_federation, image_model_factory, "batched", rounds=3
         )
         config = ServerConfig(
-            rounds=3, sample_rate=0.5, seed=2,
+            rounds=3, participation="uniform:sample_rate=0.5", seed=2,
             local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
             streaming="off",
         )

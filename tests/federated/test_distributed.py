@@ -256,7 +256,7 @@ class TestCoordinatorConfig:
             dataset,
             build_model_factory(scenario, generator),
             build_algorithm(scenario),
-            ServerConfig(rounds=2, sample_rate=1.0, seed=5, local=scenario.local),
+            ServerConfig(rounds=2, participation="uniform:sample_rate=1.0", seed=5, local=scenario.local),
             backend=build_backend(scenario),
         )
         with server:
@@ -286,7 +286,7 @@ class TestCoordinatorConfig:
         from repro.federated.client import LocalTrainingConfig
         from repro.federated.server import FederatedServer, ServerConfig
 
-        config = ServerConfig(rounds=1, sample_rate=0.5, seed=2,
+        config = ServerConfig(rounds=1, participation="uniform:sample_rate=0.5", seed=2,
                               local=LocalTrainingConfig(epochs=1, batch_size=8))
         with FederatedServer(
             small_federation, image_model_factory, FedAvg(), config,

@@ -38,7 +38,7 @@ def _make_server(
 ):
     config = ServerConfig(
         rounds=rounds,
-        sample_rate=0.5,
+        participation="uniform:sample_rate=0.5",
         seed=2,
         local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
     )
@@ -236,17 +236,16 @@ class TestHookPipeline:
         with pytest.raises(ValueError):
             EvaluationHook(lambda p, i: {}, every=0)
 
-    def test_eval_fn_property_registers_single_hook(
+    def test_constructor_eval_fn_registers_single_hook(
         self, small_federation, image_model_factory
     ):
-        config = ServerConfig(rounds=1, sample_rate=0.5, seed=2, eval_every=1)
-        server = FederatedServer(
-            small_federation, image_model_factory, FedAvg(), config
+        config = ServerConfig(
+            rounds=1, participation="uniform:sample_rate=0.5", seed=2, eval_every=1
         )
-        with pytest.warns(DeprecationWarning):
-            server.eval_fn = lambda params, idx: {"benign_accuracy": 0.1}
-        with pytest.warns(DeprecationWarning):
-            server.eval_fn = lambda params, idx: {"benign_accuracy": 0.9}
+        server = FederatedServer(
+            small_federation, image_model_factory, FedAvg(), config,
+            eval_fn=lambda params, idx: {"benign_accuracy": 0.9},
+        )
         assert len(server.hooks) == 1
         record = server.run_round()
         assert record.benign_accuracy == 0.9
@@ -259,39 +258,41 @@ class TestHookPipeline:
         pipeline.remove(hook)
         assert len(pipeline) == 0
 
-    def test_late_eval_fn_still_runs_before_user_hooks(
+    def test_eval_fn_runs_before_user_hooks(
         self, small_federation, image_model_factory
     ):
-        # Assigning eval_fn after construction must not leave the evaluation
-        # hook behind already-registered user hooks.
+        # The evaluation hook is always first in the pipeline, so user hooks
+        # observe records with the metrics already filled in.
         seen = []
         collector = CallbackHook(
             on_round_end=lambda s, p, rec: seen.append(rec.benign_accuracy)
         )
-        config = ServerConfig(rounds=1, sample_rate=0.5, seed=2, eval_every=1)
-        server = FederatedServer(
-            small_federation, image_model_factory, FedAvg(), config, hooks=[collector]
+        config = ServerConfig(
+            rounds=1, participation="uniform:sample_rate=0.5", seed=2, eval_every=1
         )
-        with pytest.warns(DeprecationWarning):
-            server.eval_fn = lambda params, idx: {"benign_accuracy": 0.7}
+        server = FederatedServer(
+            small_federation, image_model_factory, FedAvg(), config,
+            eval_fn=lambda params, idx: {"benign_accuracy": 0.7},
+            hooks=[collector],
+        )
         server.run()
         assert seen == [0.7]
 
-    def test_eval_fn_assigned_before_enabling_eval_every(
+    def test_eval_fn_respects_eval_every_toggle(
         self, small_federation, image_model_factory
     ):
-        # Historical pattern: assign eval_fn first, switch eval_every on later.
-        config = ServerConfig(rounds=2, sample_rate=0.5, seed=2)
-        server = FederatedServer(small_federation, image_model_factory, FedAvg(), config)
-        with pytest.warns(DeprecationWarning):
-            server.eval_fn = lambda params, idx: {"benign_accuracy": 0.4}
+        # The hook gates on config.eval_every at round end, so toggling it
+        # mid-run takes effect immediately.
+        config = ServerConfig(rounds=2, participation="uniform:sample_rate=0.5", seed=2)
+        server = FederatedServer(
+            small_federation, image_model_factory, FedAvg(), config,
+            eval_fn=lambda params, idx: {"benign_accuracy": 0.4},
+        )
         first = server.run_round()
         assert first.benign_accuracy is None  # eval_every still unset
         server.config.eval_every = 1
         second = server.run_round()
         assert second.benign_accuracy == 0.4
-        with pytest.warns(DeprecationWarning):
-            assert server.eval_fn is not None
 
     def test_backend_rebind_resets_driver_model(self, small_federation, image_model_factory):
         backend = SerialBackend()
@@ -316,7 +317,7 @@ class TestAggregationContext:
                 contexts.append(ctx)
                 return super().aggregate(updates, global_params, ctx)
 
-        config = ServerConfig(rounds=2, sample_rate=0.5, seed=2)
+        config = ServerConfig(rounds=2, participation="uniform:sample_rate=0.5", seed=2)
         server = FederatedServer(
             small_federation, image_model_factory, FedAvg(), config,
             aggregator=RecordingAggregator(),
@@ -326,11 +327,10 @@ class TestAggregationContext:
         assert contexts[0].sampled_clients == tuple(server.history.records[0].sampled_clients)
         assert all(isinstance(ctx, AggregationContext) for ctx in contexts)
 
-    def test_legacy_rng_call_still_works_but_warns(self, rng):
+    def test_legacy_rng_call_is_rejected(self, rng):
         updates = np.arange(12, dtype=np.float64).reshape(3, 4)
-        with pytest.warns(DeprecationWarning, match="AggregationContext"):
-            result = MeanAggregator()(updates, np.zeros(4), rng)
-        np.testing.assert_allclose(result, updates.mean(axis=0))
+        with pytest.raises(TypeError, match="AggregationContext.from_rng"):
+            MeanAggregator()(updates, np.zeros(4), rng)
 
     def test_from_rng_wraps_generator(self, rng):
         ctx = AggregationContext.from_rng(rng)

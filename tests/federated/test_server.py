@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -16,7 +18,7 @@ from repro.nn.serialization import flatten_params
 def _make_server(small_federation, image_model_factory, rounds=3, **kwargs):
     config = ServerConfig(
         rounds=rounds,
-        sample_rate=0.5,
+        participation="uniform:sample_rate=0.5",
         seed=2,
         local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
         **kwargs,
@@ -32,8 +34,37 @@ class TestServerConfig:
         "kwargs", [{"rounds": 0}, {"sample_rate": 0.0}, {"server_lr": 0.0}]
     )
     def test_invalid_config(self, kwargs):
+        with warnings.catch_warnings():
+            # The sample_rate=0.0 case warns (deprecated scalar) before it
+            # raises; the range error is what's under test here.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ValueError):
+                ServerConfig(**kwargs)
+
+    def test_scalar_sample_rate_warns_and_maps_to_uniform(self):
+        with pytest.warns(DeprecationWarning, match="participation"):
+            config = ServerConfig(sample_rate=0.3, min_sampled_clients=2)
+        assert config.participation_spec() == (
+            "uniform", {"sample_rate": 0.3, "min_clients": 2}
+        )
+
+    def test_default_config_maps_to_bare_uniform(self):
+        # No scalars, no spec: the uniform model's own defaults apply,
+        # which is the pre-participation-API behaviour.
+        assert ServerConfig().participation_spec() == ("uniform", {})
+
+    def test_scalars_and_participation_spec_conflict(self):
+        with pytest.raises(ValueError, match="not both"):
+            ServerConfig(sample_rate=0.3, participation="uniform")
+
+    @pytest.mark.parametrize(
+        "mode", ["warp", "sync:buffer_size=2", "buffered_async:bogus=1",
+                 "buffered_async:buffer_size=0",
+                 "buffered_async:staleness_discount=0.0"]
+    )
+    def test_invalid_aggregation_mode(self, mode):
         with pytest.raises(ValueError):
-            ServerConfig(**kwargs)
+            ServerConfig(aggregation_mode=mode)
 
 
 class TestFederatedServer:
@@ -64,7 +95,7 @@ class TestFederatedServer:
         np.testing.assert_allclose(a.global_params, b.global_params)
 
     def test_attack_requires_compromised_clients(self, small_federation, image_model_factory):
-        config = ServerConfig(rounds=1, sample_rate=0.5)
+        config = ServerConfig(rounds=1, participation="uniform:sample_rate=0.5")
         with pytest.raises(ValueError):
             FederatedServer(
                 small_federation, image_model_factory, FedAvg(), config,
@@ -82,7 +113,7 @@ class TestFederatedServer:
                 return super().aggregate(updates, global_params, rng)
 
         aggregator = RecordingAggregator()
-        config = ServerConfig(rounds=2, sample_rate=0.5, seed=0,
+        config = ServerConfig(rounds=2, participation="uniform:sample_rate=0.5", seed=0,
                               local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05))
         server = FederatedServer(
             small_federation, image_model_factory, FedAvg(), config, aggregator=aggregator
@@ -91,11 +122,18 @@ class TestFederatedServer:
         assert aggregator.calls == 2
 
     def test_eval_fn_populates_history(self, small_federation, image_model_factory):
-        server = _make_server(small_federation, image_model_factory, rounds=2, eval_every=1)
-        with pytest.warns(DeprecationWarning):
-            server.eval_fn = lambda params, round_idx: {
+        config = ServerConfig(
+            rounds=2, participation="uniform:sample_rate=0.5", seed=2,
+            local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
+            eval_every=1,
+        )
+        server = FederatedServer(
+            small_federation, image_model_factory, FedAvg(), config,
+            aggregator=MeanAggregator(),
+            eval_fn=lambda params, round_idx: {
                 "benign_accuracy": 0.5, "attack_success_rate": 0.25,
-            }
+            },
+        )
         history = server.run()
         assert history.records[-1].benign_accuracy == 0.5
         assert history.records[-1].attack_success_rate == 0.25
@@ -120,7 +158,7 @@ class TestServerLifecycle:
 
         backend = ThreadPoolBackend(max_workers=2)
         config = ServerConfig(
-            rounds=1, sample_rate=0.5, seed=2,
+            rounds=1, participation="uniform:sample_rate=0.5", seed=2,
             local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
         )
         with FederatedServer(
@@ -140,7 +178,7 @@ class TestServerLifecycle:
                 closes.append(True)
 
         config = ServerConfig(
-            rounds=1, sample_rate=0.5, seed=2,
+            rounds=1, participation="uniform:sample_rate=0.5", seed=2,
             local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
         )
         server = FederatedServer(

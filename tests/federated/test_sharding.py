@@ -217,7 +217,7 @@ def _make_server(
 ):
     config = ServerConfig(
         rounds=rounds,
-        sample_rate=0.5,
+        participation="uniform:sample_rate=0.5",
         seed=2,
         num_shards=num_shards,
         local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),
@@ -257,7 +257,7 @@ class TestServerSharding:
         # weighted_mean has no matrix path; streaming="off" must fail at
         # server construction (sharded or not), not mid-round.
         config = ServerConfig(
-            rounds=1, sample_rate=0.5, seed=2,
+            rounds=1, participation="uniform:sample_rate=0.5", seed=2,
             streaming="off", num_shards=num_shards,
         )
         with pytest.raises(ValueError, match="only supports the streaming"):

@@ -35,7 +35,7 @@ def _make_server(
 ):
     config = ServerConfig(
         rounds=rounds,
-        sample_rate=0.5,
+        participation="uniform:sample_rate=0.5",
         seed=2,
         streaming=streaming,
         local=LocalTrainingConfig(epochs=1, batch_size=8, lr=0.05),

@@ -38,9 +38,27 @@ def test_supported_aggregation_path_is_warning_free(rng):
         MeanAggregator()(updates, np.zeros(8), AggregationContext.from_rng(rng))
 
 
-def test_legacy_rng_aggregation_still_warns(rng):
+def test_legacy_rng_aggregation_is_a_hard_error(rng):
+    # The PR 1-era bare-Generator shim graduated from DeprecationWarning to
+    # TypeError; the message must point at the replacement.
     from repro.defenses.base import MeanAggregator
 
     updates = rng.normal(size=(3, 8))
-    with pytest.warns(DeprecationWarning, match="AggregationContext"):
+    with pytest.raises(TypeError, match="AggregationContext.from_rng"):
         MeanAggregator()(updates, np.zeros(8), rng)
+
+
+def test_legacy_sample_clients_still_warns(rng):
+    from repro.federated.sampling import sample_clients
+
+    with pytest.warns(DeprecationWarning, match="uniform_sample"):
+        sampled = sample_clients(30, sample_rate=0.5, rng=rng)
+    assert sampled.size >= 2
+
+
+def test_legacy_server_config_scalars_still_warn():
+    from repro.federated.server import ServerConfig
+
+    with pytest.warns(DeprecationWarning, match="participation"):
+        config = ServerConfig(sample_rate=0.25)
+    assert config.participation_spec() == ("uniform", {"sample_rate": 0.25})
