@@ -36,7 +36,12 @@ def distill(raw: dict) -> list[dict]:
 
     Benchmarks that tag ``extra_info["ledger_bytes"]`` (runs carrying a
     communication ledger) keep that total in the distilled record, so the
-    perf trajectory tracks wire volume alongside wall time.
+    perf trajectory tracks wire volume alongside wall time.  Benchmarks
+    that tag ``extra_info["phases"]`` (telemetry-instrumented runs — a
+    whole-run seconds-per-phase dict from
+    :func:`repro.telemetry.render.phase_totals`) keep the phase breakdown,
+    so the trajectory records *where* a benchmark's time went, not just how
+    much there was.
     """
     records = []
     for bench in raw.get("benchmarks", []):
@@ -48,6 +53,8 @@ def distill(raw: dict) -> list[dict]:
         }
         if extra.get("ledger_bytes") is not None:
             record["ledger_bytes"] = extra["ledger_bytes"]
+        if extra.get("phases") is not None:
+            record["phases"] = extra["phases"]
         records.append(record)
     return sorted(records, key=lambda r: r["op"])
 

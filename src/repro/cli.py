@@ -1,18 +1,20 @@
 """``python -m repro`` — run scenarios and sweeps without writing Python.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro list [family]        # registered components + params
     python -m repro run scenario.json    # run one scenario
     python -m repro sweep suite.json     # run a sweep suite
     python -m repro ledger results.json  # communication-ledger summary table
+    python -m repro trace results.json   # telemetry phase-breakdown report
     python -m repro worker --listen :0   # standalone distributed worker
     python -m repro lint [paths]         # project-specific static analysis
 
 ``run`` accepts ``--set key=value`` overrides (values parsed as literals,
 component fields accept spec strings like ``--set defense=krum:multi=3``),
 ``--streaming auto|on|off`` to pick the update-aggregation path,
-``--shards N`` to fold shard-capable defenses across a worker pool, and
+``--shards N`` to fold shard-capable defenses across a worker pool,
+``--telemetry on|off`` to record out-of-band span/metric telemetry, and
 ``--out results.json`` to write the full
 :class:`~repro.experiments.results.ExperimentResult` as JSON — the file
 reloads losslessly via ``ExperimentResult.load()`` and re-running the
@@ -64,6 +66,13 @@ def _add_run_overrides(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="run under pairwise-masked secure aggregation (server-blind "
         "defenses only; histories stay bit-identical to plaintext)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        choices=("on", "off"),
+        help="record out-of-band run telemetry — span traces, engine "
+        "metrics, worker-side profiling (default off; histories are "
+        "bit-identical either way)",
     )
     parser.add_argument("--out", type=Path, help="write results as JSON")
 
@@ -139,6 +148,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         overrides["num_shards"] = args.shards
     if args.secagg:
         overrides["secure_aggregation"] = True
+    if args.telemetry is not None:
+        overrides["telemetry"] = args.telemetry == "on"
     if overrides:
         scenario = scenario.with_overrides(**overrides)
     label = scenario.name or Path(args.scenario).stem
@@ -258,6 +269,35 @@ def _cmd_ledger(args: argparse.Namespace) -> int:
         f"({totals['header_bytes']} header + {totals['payload_bytes']} payload)"
         + (f"; wire dtypes: {dtypes}" if dtypes else "")
     )
+    # Known channels a ledger may carry; a results file without one (e.g. a
+    # serial run has no 'wire' frames) renders fine — note the absence so
+    # the reader doesn't mistake it for zero traffic.
+    recorded = {row["channel"] for row in rows}
+    notes = {
+        "model": "no logical client-server traffic was metered",
+        "wire": "recorded only by backend='distributed'",
+    }
+    for channel, why in notes.items():
+        if channel not in recorded:
+            print(f"(channel '{channel}' absent — {why})")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render the telemetry trace of a saved results JSON."""
+    from repro.telemetry import render_trace
+
+    data = json.loads(Path(args.results).read_text())
+    # Accept a bare RunTelemetry dict too (e.g. extracted by other tooling).
+    telemetry = data.get("telemetry") if "telemetry" in data else data
+    if not isinstance(telemetry, dict) or "spans" not in telemetry:
+        print(
+            f"error: {args.results} carries no telemetry "
+            "(re-run with --telemetry on)",
+            file=sys.stderr,
+        )
+        return 2
+    print(render_trace(telemetry, top=args.top))
     return 0
 
 
@@ -320,6 +360,25 @@ def build_parser() -> argparse.ArgumentParser:
         "results", type=Path, help="path to a results JSON with a ledger"
     )
     ledger_parser.set_defaults(func=_cmd_ledger)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="render the telemetry trace of a results JSON",
+        description="Render the per-round phase breakdown, slowest "
+        "client-training tasks, engine metrics and worker clock offsets of "
+        "the telemetry embedded in a `repro run --telemetry on --out "
+        "results.json` file (also accepts a bare telemetry dict).",
+    )
+    trace_parser.add_argument(
+        "results", type=Path, help="path to a results JSON with telemetry"
+    )
+    trace_parser.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many slowest client-training tasks to list (default 10)",
+    )
+    trace_parser.set_defaults(func=_cmd_trace)
 
     worker_parser = sub.add_parser(
         "worker",

@@ -61,12 +61,19 @@ class AggregationContext:
     reason about the round (who was sampled, which round it is) now can.
     ``round_idx`` is ``-1`` when the context was synthesised by the
     legacy-call shim and no round information is available.
+
+    ``telemetry`` is the run's :class:`~repro.telemetry.core.RunTelemetry`
+    bundle when tracing is enabled (``None`` otherwise) — the path on which
+    aggregation-side instrumentation points (the sharded fold, the secagg
+    unmask) reach the tracer.  Strictly observational: nothing here may
+    read it to change a numeric result.
     """
 
     rng: np.random.Generator
     round_idx: int = -1
     sampled_clients: tuple[int, ...] = ()
     extras: dict = field(default_factory=dict)
+    telemetry: object | None = None
 
     @classmethod
     def from_rng(cls, rng: np.random.Generator) -> "AggregationContext":
@@ -261,6 +268,17 @@ class Aggregator:
                 f"only {state.count} updates were accumulated"
             )
         return self._finalize(state, global_params, ctx)
+
+    def abort(self, state: AggregationState) -> None:
+        """Discard an in-flight round's state without finalizing it.
+
+        The server calls this when something raises mid-round — a hook
+        failing in ``on_update``, a fold error — so aggregators holding
+        live resources (the sharded fold's worker threads) release them
+        instead of leaking a half-folded round.  The base implementation is
+        a no-op: plain buffering/streaming state is garbage-collected with
+        the abandoned :class:`AggregationState`.
+        """
 
     # -- staleness (buffered-async aggregation) ----------------------------
 

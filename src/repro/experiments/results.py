@@ -22,7 +22,10 @@ class ExperimentResult:
     ``extras`` — live objects (dataset, server, attack) that exist only in
     the producing process and reload as an empty dict.  ``ledger`` is the
     run's :class:`~repro.federated.engine.ledger.CommunicationLedger`
-    (``None`` for results produced before ledgers existed).
+    (``None`` for results produced before ledgers existed).  ``telemetry``
+    is the serialised :class:`~repro.telemetry.core.RunTelemetry` of a
+    ``telemetry=True`` run (``None`` otherwise) — the input of
+    ``repro trace``.
     """
 
     config: object
@@ -31,6 +34,7 @@ class ExperimentResult:
     compromised_ids: list[int] = field(default_factory=list)
     extras: dict = field(default_factory=dict)
     ledger: CommunicationLedger | None = None
+    telemetry: dict | None = None
 
     @property
     def benign_accuracy(self) -> float:
@@ -61,6 +65,8 @@ class ExperimentResult:
         }
         if self.ledger is not None:
             data["ledger"] = self.ledger.to_dict()
+        if self.telemetry is not None:
+            data["telemetry"] = self.telemetry
         return data
 
     @classmethod
@@ -74,7 +80,10 @@ class ExperimentResult:
 
         reject_unknown_keys(
             data,
-            {"scenario", "summary", "evaluation", "compromised_ids", "history", "ledger"},
+            {
+                "scenario", "summary", "evaluation", "compromised_ids",
+                "history", "ledger", "telemetry",
+            },
             "experiment-result",
         )
         if "scenario" not in data:
@@ -86,6 +95,7 @@ class ExperimentResult:
             history=TrainingHistory.from_dict(data.get("history", {})),
             compromised_ids=[int(c) for c in data.get("compromised_ids", [])],
             ledger=CommunicationLedger.from_dict(ledger) if ledger is not None else None,
+            telemetry=data.get("telemetry"),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

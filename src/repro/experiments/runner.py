@@ -268,6 +268,7 @@ def run_experiment(
         streaming=config.streaming,
         num_shards=config.num_shards,
         secure_aggregation=config.secure_aggregation,
+        telemetry=config.telemetry,
     )
 
     eval_fn = None
@@ -329,5 +330,6 @@ def run_experiment(
         compromised_ids=compromised,
         extras=extras,
         ledger=ledger,
+        telemetry=server.telemetry.to_dict() if server.telemetry is not None else None,
     )
 

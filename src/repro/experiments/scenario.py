@@ -112,6 +112,7 @@ class Scenario:
     streaming: str = "auto"             # fold updates online: auto|on|off
     num_shards: int = 1                 # split the streaming fold across shards
     secure_aggregation: bool = False    # pairwise-masked updates (server-blind)
+    telemetry: bool = False             # out-of-band span/metric tracing
 
     # Attack
     attack: str = "none"
@@ -268,6 +269,8 @@ class Scenario:
                     "buffered_async folds arrivals online; use "
                     "streaming='auto' or 'on'"
                 )
+        if not isinstance(self.telemetry, bool):
+            raise ValueError("telemetry must be a bool")
         if self.secure_aggregation:
             from repro.federated.secagg import PlaintextRequiredError
 

@@ -37,7 +37,8 @@ import queue
 import threading
 from collections.abc import Callable, Iterable, Iterator
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
-from dataclasses import dataclass
+from contextlib import nullcontext
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -59,6 +60,11 @@ class EngineContext:
     it.  The seed is the run seed; mask streams are derived per
     ``(seed, round, pair)``, so remote workers and driver-side backends
     produce identical masked bytes.
+
+    ``telemetry`` is the run's :class:`~repro.telemetry.core.RunTelemetry`
+    bundle when span tracing is enabled (``None`` otherwise): task
+    execution and dispatch points record spans through it.  Observation
+    only — no backend may read it to change what it computes.
     """
 
     dataset: FederatedDataset
@@ -67,20 +73,32 @@ class EngineContext:
     local_config: LocalTrainingConfig
     attack: object | None = None
     secagg_seed: int | None = None
+    telemetry: object | None = None
+
+
+def telemetry_span(ctx: EngineContext, name: str, **attrs):
+    """Span context manager via the context's telemetry; no-op when off."""
+    tel = ctx.telemetry
+    if tel is None:
+        return nullcontext()
+    return tel.tracer.span(name, **attrs)
 
 
 def run_benign_task(
     ctx: EngineContext, task: ClientTask, global_params: np.ndarray, model
 ) -> ClientResult:
     """Execute one benign client task on the given scratch model."""
-    update, loss = ctx.algorithm.benign_update(
-        task.client_id,
-        model,
-        global_params,
-        ctx.dataset.client(task.client_id).train,
-        ctx.local_config,
-        task.rng(),
-    )
+    with telemetry_span(
+        ctx, "client_train", round=task.round_idx, client=task.client_id
+    ):
+        update, loss = ctx.algorithm.benign_update(
+            task.client_id,
+            model,
+            global_params,
+            ctx.dataset.client(task.client_id).train,
+            ctx.local_config,
+            task.rng(),
+        )
     return ClientResult(task=task, update=update, loss=loss)
 
 
@@ -90,13 +108,17 @@ def run_malicious_task(
     """Execute one compromised client task through the active attack."""
     if ctx.attack is None:
         raise RuntimeError("malicious task scheduled without an active attack")
-    update = ctx.attack.compute_update(
-        client_id=task.client_id,
-        global_params=global_params,
-        round_idx=task.round_idx,
-        model=model,
-        rng=task.rng(),
-    )
+    with telemetry_span(
+        ctx, "client_train",
+        round=task.round_idx, client=task.client_id, malicious=True,
+    ):
+        update = ctx.attack.compute_update(
+            client_id=task.client_id,
+            global_params=global_params,
+            round_idx=task.round_idx,
+            model=model,
+            rng=task.rng(),
+        )
     return ClientResult(task=task, update=update, loss=None)
 
 
@@ -193,12 +215,17 @@ class ExecutionBackend:
             # modules and is only needed when masking is actually on.
             from repro.federated.secagg.masking import mask_update
 
-            result = ClientResult(
-                task=result.task,
-                update=mask_update(
+            with telemetry_span(
+                self.ctx, "secagg_mask",
+                round=plan.round_idx, client=result.client_id,
+            ):
+                masked = mask_update(
                     result.update, seed, plan.round_idx, result.client_id,
                     plan.sampled_clients,
-                ),
+                )
+            result = ClientResult(
+                task=result.task,
+                update=masked,
                 loss=result.loss,
                 extras={**result.extras, "secagg_masked": True},
             )
@@ -336,10 +363,14 @@ class ThreadPoolBackend(ExecutionBackend):
         # order via as_completed — this is what lets streaming aggregation
         # start folding while slow clients are still training.
         executor = self._ensure_executor()
-        futures = [
-            executor.submit(self._run_pooled, task, global_params)
-            for task in plan.benign_tasks
-        ]
+        with telemetry_span(
+            self.ctx, "dispatch",
+            round=plan.round_idx, tasks=len(plan.benign_tasks), backend="thread",
+        ):
+            futures = [
+                executor.submit(self._run_pooled, task, global_params)
+                for task in plan.benign_tasks
+            ]
         ctx = self.ctx
         for task in plan.malicious_tasks:
             yield self.make_update(
@@ -416,12 +447,23 @@ class ProcessPoolBackend(ExecutionBackend):
             return []
         workers = min(self.max_workers, len(tasks))
         with _FORK_LOCK:
-            _FORK_STATE = (self.ctx, global_params)
+            # Children record spans into forked copies of the tracer that die
+            # with the process, so strip telemetry from the inherited context
+            # and record one driver-side span covering the whole pool instead.
+            _FORK_STATE = (replace(self.ctx, telemetry=None), global_params)
             try:
                 mp_ctx = multiprocessing.get_context("fork")
-                with ProcessPoolExecutor(max_workers=workers, mp_context=mp_ctx) as pool:
-                    chunksize = max(1, len(tasks) // workers)
-                    return list(pool.map(_fork_run_task, tasks, chunksize=chunksize))
+                with telemetry_span(
+                    self.ctx, "client_train",
+                    round=tasks[0].round_idx, tasks=len(tasks), processes=workers,
+                ):
+                    with ProcessPoolExecutor(
+                        max_workers=workers, mp_context=mp_ctx
+                    ) as pool:
+                        chunksize = max(1, len(tasks) // workers)
+                        return list(
+                            pool.map(_fork_run_task, tasks, chunksize=chunksize)
+                        )
             finally:
                 _FORK_STATE = None
 

@@ -43,6 +43,7 @@ from repro.federated.engine.backends import (
     ExecutionBackend,
     run_benign_task,
     run_malicious_task,
+    telemetry_span,
 )
 from repro.federated.engine.plan import ClientResult, ClientTask
 from repro.nn.model import BatchedSequential, supports_batching
@@ -169,10 +170,14 @@ class BatchedClientRunner:
             drift_stack = np.stack(drifts)
         model = self._stacked_model(len(members))
         rngs = [task.rng() for task in tasks]
-        updates, losses = local_train_batched(
-            model, global_params, datasets, config, rngs,
-            drift_corrections=drift_stack,
-        )
+        with telemetry_span(
+            self.ctx, "client_train",
+            round=tasks[0].round_idx, clients=len(tasks), batched=True,
+        ):
+            updates, losses = local_train_batched(
+                model, global_params, datasets, config, rngs,
+                drift_corrections=drift_stack,
+            )
         self.batched_task_count += len(tasks)
         for i, task in enumerate(tasks):
             # Copy the row out so a result does not pin the whole stack.

@@ -41,7 +41,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 import repro
-from repro.federated.engine.backends import ExecutionBackend, run_malicious_task
+from repro.federated.engine.backends import (
+    ExecutionBackend,
+    run_malicious_task,
+    telemetry_span,
+)
 from repro.federated.engine.distributed.protocol import (
     PROTOCOL_VERSION,
     ConnectionClosed,
@@ -399,19 +403,27 @@ class DistributedBackend(ExecutionBackend):
                     "seed": int(secagg_seed),
                     "participants": [int(c) for c in plan.sampled_clients],
                 }
-            for link in live:
-                try:
-                    self._send(
-                        link,
-                        MessageType.ROUND,
-                        round_fields,
-                        {"params": global_params},
-                        dtype=self.wire_dtype,
-                        round_idx=plan.round_idx,
-                    )
-                except OSError:
-                    self._bury(link, pending, None)
-            self._refill_survivors(pending, plan.round_idx, None, remaining)
+            if ctx.telemetry is not None:
+                # Protocol v4: ask workers to profile their phases and attach
+                # a telemetry blob to every UPDATE frame.
+                round_fields["telemetry"] = True
+            with telemetry_span(
+                ctx, "dispatch",
+                round=plan.round_idx, tasks=len(benign), backend="distributed",
+            ):
+                for link in live:
+                    try:
+                        self._send(
+                            link,
+                            MessageType.ROUND,
+                            round_fields,
+                            {"params": global_params},
+                            dtype=self.wire_dtype,
+                            round_idx=plan.round_idx,
+                        )
+                    except OSError:
+                        self._bury(link, pending, None)
+                self._refill_survivors(pending, plan.round_idx, None, remaining)
 
         # Driver-side malicious work overlaps with the worker fan-out, same
         # as the thread backend: attacks keep their cross-round state here.
@@ -440,6 +452,7 @@ class DistributedBackend(ExecutionBackend):
                     if msg is not MessageType.UPDATE:
                         raise ProtocolError(f"expected UPDATE, got {msg.name}")
                     order = fields["order"]
+                    self._merge_worker_telemetry(link, fields, plan, pending)
                     link.outstanding.pop(order, None)
                     if not self._fill(link, pending, plan.round_idx):
                         # The worker died as we topped it up (EPIPE on send):
@@ -460,6 +473,46 @@ class DistributedBackend(ExecutionBackend):
                     )
         finally:
             sel.close()
+
+    def _merge_worker_telemetry(
+        self, link: _WorkerLink, fields: dict, plan: RoundPlan, pending: deque
+    ) -> None:
+        """Fold one UPDATE frame's profiling blob into the driver's trace.
+
+        The worker's ``train_s`` becomes a ``client_train`` span ending at
+        the frame's receipt (``wire=True`` marks the reconstruction); its
+        ``mono`` send timestamp yields the per-link clock-offset estimate
+        (driver minus worker clock, minimum over frames — an annotation for
+        reading cross-host traces, never a correction).  Queue-depth
+        histograms are observed per receipt whether or not the worker sent a
+        blob, so driver-side congestion is visible even against v4 workers
+        with profiling declined.
+        """
+        tel = self.ctx.telemetry
+        if tel is None:
+            return
+        blob = fields.get("telemetry")
+        if blob:
+            now = tel.tracer.now()
+            attrs = {
+                "round": plan.round_idx,
+                "client": fields.get("client"),
+                "worker": link.pid,
+                "wire": True,
+            }
+            for extra in ("mask_s", "context_build_s"):
+                if blob.get(extra) is not None:
+                    attrs[extra] = blob[extra]
+            train_s = float(blob.get("train_s", 0.0))
+            tel.tracer.add_span("client_train", now - train_s, now, **attrs)
+            mono = blob.get("mono")
+            if mono is not None:
+                tel.record_clock_offset(f"worker:{link.pid}", now - float(mono))
+        metrics = tel.metrics
+        metrics.histogram("distributed.pending_depth").observe(len(pending))
+        metrics.histogram("distributed.worker_outstanding").observe(
+            len(link.outstanding)
+        )
 
     def _fill(self, link: _WorkerLink, pending: deque, round_idx: int) -> bool:
         """Top the worker's pipeline up to :data:`PIPELINE_DEPTH` tasks.

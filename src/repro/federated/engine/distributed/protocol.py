@@ -49,7 +49,14 @@ from repro.nn.serialization import vector_from_bytes, vector_to_bytes, wire_dtyp
 #: masked ``UPDATE`` declares itself with ``masked: true`` — its vector is
 #: ciphertext (IEEE-754 words plus the client's round mask mod 2**64)
 #: riding the float64 transport, which a v2 peer would mis-read as numbers.
-PROTOCOL_VERSION = 3
+#: Version 4 added worker-side profiling: ``ROUND`` may carry
+#: ``telemetry: true``, asking workers to time their phases; each ``UPDATE``
+#: then carries a compact ``telemetry`` blob ({train_s, mask_s?,
+#: context_build_s?, mono}) the coordinator merges into the driver's trace,
+#: using ``mono`` (the worker's monotonic send timestamp) for a per-link
+#: clock-offset estimate.  Strictly observational — the blob never feeds
+#: back into aggregation.
+PROTOCOL_VERSION = 4
 
 _MAGIC = b"RW"
 _HEADER = struct.Struct(">2sBBI")

@@ -122,6 +122,10 @@ class WorkerServer:
         self.once = once
         self._contexts: OrderedDict[str, _WorkerContext] = OrderedDict()
         self._test_delay = float(os.environ.get("REPRO_WORKER_TEST_DELAY", "0") or 0)
+        #: Seconds the most recent context build took; attached to the first
+        #: profiled UPDATE after the build, then cleared (context builds are
+        #: per-session, not per-task, so charging every task would mislead).
+        self._last_context_build_s: float | None = None
 
     def _log(self, message: str) -> None:
         print(f"[repro-worker {os.getpid()}] {message}", file=sys.stderr, flush=True)
@@ -158,7 +162,9 @@ class WorkerServer:
             self._contexts.move_to_end(fingerprint)
             return cached
         self._log(f"building execution context {fingerprint}")
+        build_start = time.monotonic()
         context = build_context(payload)
+        self._last_context_build_s = time.monotonic() - build_start
         if context.fingerprint != fingerprint:
             raise ProtocolError(
                 f"scenario payload hashes to {context.fingerprint}, "
@@ -177,6 +183,7 @@ class WorkerServer:
         global_params: np.ndarray | None = None
         wire_dtype = "float64"
         secagg: dict | None = None
+        telemetry = False
         while True:
             try:
                 msg, fields, arrays = recv_message(conn)
@@ -203,6 +210,7 @@ class WorkerServer:
             elif msg is MessageType.ROUND:
                 global_params = arrays["params"]
                 secagg = fields.get("secagg")
+                telemetry = bool(fields.get("telemetry"))
                 if secagg is not None and wire_dtype != "float64":
                     # Masked words only survive a bit-exact transport; report
                     # the misconfiguration instead of shipping corrupt masks.
@@ -220,7 +228,8 @@ class WorkerServer:
                     secagg = None
             elif msg is MessageType.TASK:
                 self._run_task(
-                    conn, active, global_params, fields, arrays, wire_dtype, secagg
+                    conn, active, global_params, fields, arrays, wire_dtype,
+                    secagg, telemetry,
                 )
             else:
                 send_message(
@@ -238,6 +247,7 @@ class WorkerServer:
         arrays: dict[str, np.ndarray],
         wire_dtype: str = "float64",
         secagg: dict | None = None,
+        telemetry: bool = False,
     ) -> None:
         order = fields.get("order")
         try:
@@ -255,18 +265,22 @@ class WorkerServer:
             state = arrays.get("state")
             if state is not None:
                 active.engine.algorithm.set_client_benign_state(task.client_id, state)
+            train_start = time.monotonic()
             result = run_benign_task(active.engine, task, global_params, active.model)
+            train_s = time.monotonic() - train_start
             update = result.update
             update_fields = {
                 "order": task.order,
                 "client": task.client_id,
                 "loss": result.loss,
             }
+            mask_s = None
             if secagg is not None:
                 # Mask at the source: the plaintext update never leaves this
                 # process.  Masks are pure functions of (seed, round, pair),
                 # so a re-dispatched task after a worker death regenerates
                 # the identical ciphertext on whichever worker picks it up.
+                mask_start = time.monotonic()
                 update = mask_update(
                     update,
                     secagg["seed"],
@@ -274,7 +288,20 @@ class WorkerServer:
                     task.client_id,
                     secagg["participants"],
                 )
+                mask_s = time.monotonic() - mask_start
                 update_fields["masked"] = True
+            if telemetry:
+                # Worker-side profiling (protocol v4): phase durations plus
+                # the worker's monotonic send timestamp, from which the
+                # coordinator estimates the per-link clock offset.  ``mono``
+                # is stamped below, right before the frame is sent.
+                blob = {"train_s": round(train_s, 6)}
+                if mask_s is not None:
+                    blob["mask_s"] = round(mask_s, 6)
+                if self._last_context_build_s is not None:
+                    blob["context_build_s"] = round(self._last_context_build_s, 6)
+                    self._last_context_build_s = None
+                update_fields["telemetry"] = blob
         except Exception:
             send_message(
                 conn,
@@ -286,6 +313,8 @@ class WorkerServer:
             # Test-only completion scrambler: lower slots sleep longest, so
             # updates arrive at the coordinator in (roughly) reversed order.
             time.sleep(self._test_delay / (1.0 + task.order))
+        if telemetry:
+            update_fields["telemetry"]["mono"] = time.monotonic()
         send_message(
             conn,
             MessageType.UPDATE,

@@ -28,7 +28,12 @@ server's round loop, the server dispatches five typed events per round:
     :class:`EvaluationHook` fills in accuracy metrics this way).
 
 Hooks run in registration order; exceptions propagate (a broken hook should
-fail the run loudly, not corrupt a result silently).
+fail the run loudly, not corrupt a result silently).  When a hook raises
+mid-round — notably in ``on_update``, while a streaming aggregation fold is
+in flight — the server calls :meth:`~repro.defenses.base.Aggregator.abort`
+on the half-folded round state before re-raising, so sharded fold workers
+are released and the aggregator can begin a fresh round afterwards
+(pinned in ``tests/federated/test_hooks.py``).
 """
 
 from __future__ import annotations
@@ -161,7 +166,12 @@ class EvaluationHook(RoundHook):
             every = getattr(server.config, "eval_every", None)
         if not every or (record.round_idx + 1) % every:
             return
-        metrics = self.eval_fn(server.global_params, record.round_idx)
+        tel = getattr(server, "telemetry", None)
+        if tel is not None:
+            with tel.tracer.span("evaluate", round=record.round_idx):
+                metrics = self.eval_fn(server.global_params, record.round_idx)
+        else:
+            metrics = self.eval_fn(server.global_params, record.round_idx)
         record.benign_accuracy = metrics.get("benign_accuracy")
         record.attack_success_rate = metrics.get("attack_success_rate")
         record.extras.update(metrics)

@@ -36,6 +36,8 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
@@ -91,6 +93,9 @@ class _ShardRound:
     threads: list[threading.Thread]
     results: list
     errors: list
+    #: The run's RunTelemetry (or None): workers report fold busy-time to
+    #: its ``shard.fold_busy_s`` histogram at their sentinel.
+    telemetry: object | None = None
 
 
 class ShardedAggregator(Aggregator):
@@ -149,18 +154,36 @@ class ShardedAggregator(Aggregator):
         aux = self.inner.prepare_update(update)
         state.aux = self.inner.fold_aux(state.aux, aux)
         if state.data is None:
-            state.data = self._open_round(update.update.shape[0])
+            state.data = self._open_round(
+                update.update.shape[0], state.ctx.telemetry
+            )
         vector = update.update
         for shard_queue in state.data.queues:
             shard_queue.put((vector, aux))
 
     def _finalize(self, state: AggregationState, global_params, ctx):
-        folded = self._drain(state.data)
+        tel = ctx.telemetry
+        span = (
+            tel.tracer.span(
+                "shard_fold", round=ctx.round_idx, shards=len(state.data.slices)
+            )
+            if tel is not None
+            else nullcontext()
+        )
+        with span:
+            folded = self._drain(state.data)
         return self.inner.finalize_vector(folded, state, global_params, ctx)
+
+    def abort(self, state: AggregationState) -> None:
+        """Release the round's shard workers without finalizing the fold."""
+        if state.data is not None:
+            self._stop_round(state.data)
 
     # -- worker management --------------------------------------------------
 
-    def _open_round(self, param_dim: int) -> _ShardRound:
+    def _open_round(
+        self, param_dim: int, telemetry: object | None = None
+    ) -> _ShardRound:
         slices = plan_shards(param_dim, self.num_shards)
         count = len(slices)
         round_ = _ShardRound(
@@ -169,6 +192,7 @@ class ShardedAggregator(Aggregator):
             threads=[],
             results=[None] * count,
             errors=[None] * count,
+            telemetry=telemetry,
         )
         for index in range(count):
             # Daemon so a round no one finalizes or closes (a crashed
@@ -195,16 +219,25 @@ class ShardedAggregator(Aggregator):
         fold_slice = self.inner.fold_slice
         shard_queue = round_.queues[index]
         shard_slice = round_.slices[index]
+        telemetry = round_.telemetry
         acc = None
+        busy = 0.0
         while True:
             item = shard_queue.get()
             if item is _DONE:
                 round_.results[index] = acc
+                if telemetry is not None:
+                    telemetry.metrics.histogram("shard.fold_busy_s").observe(busy)
                 return
             if round_.errors[index] is None:
                 vector, aux = item
                 try:
-                    acc = fold_slice(acc, vector[shard_slice], aux)
+                    if telemetry is not None:
+                        fold_start = time.monotonic()
+                        acc = fold_slice(acc, vector[shard_slice], aux)
+                        busy += time.monotonic() - fold_start
+                    else:
+                        acc = fold_slice(acc, vector[shard_slice], aux)
                 except BaseException as exc:  # noqa: BLE001 - rethrown at drain
                     round_.errors[index] = exc
 

@@ -31,6 +31,7 @@ structured :class:`PlaintextRequiredError`.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import replace
 
 import numpy as np
@@ -113,10 +114,19 @@ class SecureAggregator(Aggregator):
                 "(was the update produced outside the execution engine?)"
             )
         ctx = state.ctx
-        plaintext = unmask_update(
-            update.update, self.seed, ctx.round_idx, update.client_id,
-            ctx.sampled_clients,
+        tel = ctx.telemetry
+        span = (
+            tel.tracer.span(
+                "secagg_unmask", round=ctx.round_idx, client=update.client_id
+            )
+            if tel is not None
+            else nullcontext()
         )
+        with span:
+            plaintext = unmask_update(
+                update.update, self.seed, ctx.round_idx, update.client_id,
+                ctx.sampled_clients,
+            )
         metadata = {k: v for k, v in update.metadata.items() if k != MASKED_KEY}
         self.inner.accumulate(
             state, replace(update, update=plaintext, metadata=metadata)
@@ -129,6 +139,9 @@ class SecureAggregator(Aggregator):
         ctx: AggregationContext | None = None,
     ) -> np.ndarray:
         return self.inner.finalize(state, global_params, ctx)
+
+    def abort(self, state: AggregationState) -> None:
+        self.inner.abort(state)
 
     def close(self) -> None:
         closer = getattr(self.inner, "close", None)

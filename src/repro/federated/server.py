@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import warnings
 from collections.abc import Callable, Sequence
+from contextlib import nullcontext
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -89,6 +90,14 @@ class ServerConfig:
     defenses that inspect individual updates raise
     :class:`~repro.federated.secagg.aggregator.PlaintextRequiredError` at
     construction.
+
+    ``telemetry`` turns on out-of-band run telemetry
+    (:mod:`repro.telemetry`): span tracing of every round phase, an engine
+    metrics registry, and — on the distributed backend — worker-side
+    profiling merged over the wire.  Strictly observational: telemetry uses
+    only the monotonic clock, draws no RNG, and never touches the
+    :class:`TrainingHistory`, so histories with telemetry on are
+    bit-identical to telemetry off, per seed, on every backend.
     """
 
     rounds: int = 20
@@ -103,6 +112,7 @@ class ServerConfig:
     secure_aggregation: bool = False
     participation: object | None = None
     aggregation_mode: object = "sync"
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -204,11 +214,21 @@ class FederatedServer:
         backend: ExecutionBackend | str | None = None,
         hooks: Sequence[RoundHook] | None = None,
         participation: ParticipationModel | None = None,
+        telemetry=None,
     ) -> None:
         self.dataset = dataset
         self.model_factory = model_factory
         self.algorithm = algorithm
         self.config = config
+        # A RunTelemetry instance can be injected (shared across servers in a
+        # sweep); otherwise the config flag decides whether one is allocated.
+        # Imported lazily so plaintext/telemetry-off runs never pay the
+        # telemetry package import.
+        if telemetry is None and config.telemetry:
+            from repro.telemetry import RunTelemetry
+
+            telemetry = RunTelemetry()
+        self.telemetry = telemetry
         # The participation model owns round sampling; an instance can be
         # injected directly (tests, custom traces), otherwise it is built
         # from the config's spec (which resolves the deprecated scalars).
@@ -282,6 +302,7 @@ class FederatedServer:
                 local_config=config.local,
                 attack=attack,
                 secagg_seed=config.seed if config.secure_aggregation else None,
+                telemetry=self.telemetry,
             )
         )
         # The evaluation hook is registered first so user hooks observe round
@@ -292,6 +313,13 @@ class FederatedServer:
             self._install_eval_fn(eval_fn)
         for hook in hooks or ():
             self.hooks.add(hook)
+        if self.telemetry is not None:
+            from repro.telemetry import TelemetryHook
+
+            # Registered last so it snapshots metrics after user hooks (which
+            # may enrich the record) have run.  Implements no per-update
+            # event, so it never forces update-event materialisation.
+            self.hooks.add(TelemetryHook(self.telemetry))
 
     def _install_eval_fn(self, fn: Callable[[np.ndarray, int], dict] | None) -> None:
         """(Re-)register the evaluation hook, always first in the pipeline."""
@@ -314,6 +342,12 @@ class FederatedServer:
         for _ in range(total):
             self.run_round()
         return self.history
+
+    def _span(self, name: str, **attrs):
+        """Telemetry span context manager; a no-op when telemetry is off."""
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.tracer.span(name, **attrs)
 
     def _streaming_round(self) -> bool:
         """Whether this round folds updates into the aggregator online."""
@@ -346,7 +380,8 @@ class FederatedServer:
             r.client_id: r.update for r in results if not r.malicious
         }
         stacked = np.stack([r.update for r in results])
-        aggregated = self.aggregator(stacked, self.global_params, ctx)
+        with self._span("aggregate", round=ctx.round_idx):
+            aggregated = self.aggregator(stacked, self.global_params, ctx)
         return aggregated, benign_losses, benign_updates_by_client
 
     def _collect_streaming(self, plan, ctx):
@@ -363,16 +398,24 @@ class FederatedServer:
         retain = self.hooks.wants_collected_results() or self._algorithm_consumes_updates()
         retained: list = []
         benign_losses_by_slot: dict[int, float] = {}
-        for update in self.backend.iter_updates(plan, self.global_params):
-            self.hooks.update(self, plan, update)
-            self.aggregator.accumulate(state, update)
-            if not update.malicious:
-                benign_losses_by_slot[update.slot] = update.loss
-            if retain:
-                retained.append(update)
-        retained.sort(key=lambda u: u.slot)
-        self.hooks.updates_collected(self, plan, retained)
-        aggregated = self.aggregator.finalize(state, self.global_params, ctx)
+        try:
+            for update in self.backend.iter_updates(plan, self.global_params):
+                self.hooks.update(self, plan, update)
+                self.aggregator.accumulate(state, update)
+                if not update.malicious:
+                    benign_losses_by_slot[update.slot] = update.loss
+                if retain:
+                    retained.append(update)
+            retained.sort(key=lambda u: u.slot)
+            self.hooks.updates_collected(self, plan, retained)
+        except BaseException:
+            # A hook (or the backend) failed mid-round: release the
+            # half-folded aggregation state — sharded folds hold worker
+            # threads — so the aggregator can begin a fresh round later.
+            self.aggregator.abort(state)
+            raise
+        with self._span("aggregate", round=ctx.round_idx):
+            aggregated = self.aggregator.finalize(state, self.global_params, ctx)
 
         # Slot order, matching the buffered path's reductions bit-for-bit.
         benign_losses = [benign_losses_by_slot[s] for s in sorted(benign_losses_by_slot)]
@@ -411,6 +454,7 @@ class FederatedServer:
             round_idx=round_idx,
             sampled_clients=fold_clients,
             extras={"aggregation_mode": "buffered_async", "carried": len(carried)},
+            telemetry=self.telemetry,
         )
         state = self.aggregator.begin_round(ctx)
         retain = self.hooks.wants_collected_results() or self._algorithm_consumes_updates()
@@ -425,39 +469,46 @@ class FederatedServer:
             if retain:
                 retained.append(update)
 
-        # Carried updates arrive first: they were already computed and only
-        # waited for this round's buffer to open.
-        for fold_slot, update in enumerate(carried):
-            staleness = round_idx - update.metadata["origin_round"]
-            discounted = self.aggregator.discount_stale(
-                update, staleness, self._staleness_discount
-            )
-            fold(replace(discounted, slot=fold_slot))
-
-        fold_slot_of = {
-            plan_slot: len(carried) + rank for rank, plan_slot in enumerate(on_time)
-        }
-        for update in self.backend.iter_updates(plan, self.global_params):
-            fold_slot = fold_slot_of.get(update.slot)
-            if fold_slot is None:
-                # A straggler: carry it (in arrival-rank order) to next round.
-                self._carry.append(
-                    replace(
-                        update, metadata={**update.metadata, "origin_round": round_idx}
-                    )
+        try:
+            # Carried updates arrive first: they were already computed and
+            # only waited for this round's buffer to open.
+            for fold_slot, update in enumerate(carried):
+                staleness = round_idx - update.metadata["origin_round"]
+                discounted = self.aggregator.discount_stale(
+                    update, staleness, self._staleness_discount
                 )
-                continue
-            fold(replace(update, slot=fold_slot))
-        # Carried updates queue in arrival-rank (latency) order, not in the
-        # backend's completion order, so next round's fold is deterministic.
-        late_rank = {
-            plan.sampled_clients[s]: rank for rank, s in enumerate(arrival[k:])
-        }
-        self._carry.sort(key=lambda u: late_rank[u.client_id])
+                fold(replace(discounted, slot=fold_slot))
 
-        retained.sort(key=lambda u: u.slot)
-        self.hooks.updates_collected(self, plan, retained)
-        aggregated = self.aggregator.finalize(state, self.global_params, ctx)
+            fold_slot_of = {
+                plan_slot: len(carried) + rank for rank, plan_slot in enumerate(on_time)
+            }
+            for update in self.backend.iter_updates(plan, self.global_params):
+                fold_slot = fold_slot_of.get(update.slot)
+                if fold_slot is None:
+                    # A straggler: carry it (in arrival-rank order) to next round.
+                    self._carry.append(
+                        replace(
+                            update, metadata={**update.metadata, "origin_round": round_idx}
+                        )
+                    )
+                    continue
+                fold(replace(update, slot=fold_slot))
+            # Carried updates queue in arrival-rank (latency) order, not in the
+            # backend's completion order, so next round's fold is deterministic.
+            late_rank = {
+                plan.sampled_clients[s]: rank for rank, s in enumerate(arrival[k:])
+            }
+            self._carry.sort(key=lambda u: late_rank[u.client_id])
+
+            retained.sort(key=lambda u: u.slot)
+            self.hooks.updates_collected(self, plan, retained)
+        except BaseException:
+            # Same hygiene as _collect_streaming: never leak a half-folded
+            # round's worker state when a hook or the backend raises.
+            self.aggregator.abort(state)
+            raise
+        with self._span("aggregate", round=ctx.round_idx):
+            aggregated = self.aggregator.finalize(state, self.global_params, ctx)
         benign_losses = [benign_losses_by_slot[s] for s in sorted(benign_losses_by_slot)]
         benign_updates_by_client = {
             u.client_id: u.update for u in retained if not u.malicious
@@ -466,6 +517,10 @@ class FederatedServer:
 
     def run_round(self) -> RoundRecord:
         """Execute a single federated round and return its record."""
+        with self._span("round", round=len(self.history)):
+            return self._run_round()
+
+    def _run_round(self) -> RoundRecord:
         round_idx = len(self.history)
         # Running another round after close() re-acquires backend resources
         # (the pool backends recreate their executors lazily), so the next
@@ -498,6 +553,7 @@ class FederatedServer:
                 rng=self._rng,
                 round_idx=round_idx,
                 sampled_clients=plan.sampled_clients,
+                telemetry=self.telemetry,
             )
             collect = (
                 self._collect_streaming if self._streaming_round() else self._collect_buffered

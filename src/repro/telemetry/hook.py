@@ -1,0 +1,52 @@
+"""TelemetryHook: harvest engine observables into the metrics registry.
+
+The spans are recorded at explicit instrumentation points (they need to
+wrap code); the *metrics* side mostly reads counters the engine already
+maintains — the coordinator's ``redispatch_count``, the batched runner's
+``batched_task_count``, a lazy population's ``cache_info()``, the
+buffered-async carry bookkeeping on each round record — so one hook at
+``on_round_end`` is the natural choke point.  The hook implements no
+per-update event, so registering it never triggers the server's
+update-event/retained-list materialisation: telemetry stays out of band.
+"""
+
+from __future__ import annotations
+
+from repro.federated.engine.hooks import RoundHook
+
+
+class TelemetryHook(RoundHook):
+    """Snapshot engine observables into the run's metrics once per round."""
+
+    def __init__(self, telemetry) -> None:
+        self.telemetry = telemetry
+
+    def on_round_end(self, server, plan, record) -> None:
+        metrics = self.telemetry.metrics
+        metrics.counter("rounds_total").inc()
+        metrics.counter("clients_sampled_total").inc(len(plan.sampled_clients))
+
+        backend = server.backend
+        redispatch = getattr(backend, "redispatch_count", None)
+        if redispatch is not None:
+            metrics.gauge("distributed.redispatch_total").set(int(redispatch))
+        # The batched runner lives on the dedicated batched backend
+        # (``_runner``) or the serial backend's opt-in path (``_batched_runner``).
+        runner = getattr(backend, "_runner", None) or getattr(
+            backend, "_batched_runner", None
+        )
+        batched = getattr(runner, "batched_task_count", None)
+        if batched is not None:
+            metrics.gauge("batched.stacked_task_total").set(int(batched))
+
+        cache_info = getattr(server.dataset, "cache_info", None)
+        if callable(cache_info):
+            for key, value in cache_info().items():
+                metrics.gauge(f"population.cache_{key}").set(value)
+
+        buffered = record.extras.get("buffered_async")
+        if buffered:
+            metrics.counter("buffered_async.folded_total").inc(buffered["folded"])
+            metrics.counter("buffered_async.carried_out_total").inc(
+                buffered["carried_out"]
+            )

@@ -222,3 +222,65 @@ class TestWorkerSubcommand:
     def test_worker_rejects_malformed_listen_address(self, capsys):
         assert main(["worker", "--listen", "127.0.0.1:notaport"]) == 2
         assert "host:port" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_telemetry_flag_records_and_trace_renders(
+        self, tiny_scenario_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "results.json"
+        rc = main(
+            ["run", str(tiny_scenario_path), "--telemetry", "on", "--out", str(out_path)]
+        )
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["scenario"]["telemetry"] is True
+        assert payload["telemetry"]["version"] == 1
+        assert payload["telemetry"]["spans"]
+        capsys.readouterr()
+
+        assert main(["trace", str(out_path)]) == 0
+        report = capsys.readouterr().out
+        assert "Per-round phase breakdown:" in report
+        assert "client_train" in report
+        assert "Metrics:" in report
+
+        # A bare RunTelemetry dict (extracted by other tooling) renders too.
+        bare = tmp_path / "telemetry.json"
+        bare.write_text(json.dumps(payload["telemetry"]))
+        assert main(["trace", str(bare), "--top", "1"]) == 0
+        assert "Slowest 1 client-training task(s):" in capsys.readouterr().out
+
+    def test_trace_without_telemetry_fails_cleanly(
+        self, tiny_scenario_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "results.json"
+        assert main(["run", str(tiny_scenario_path), "--out", str(out_path)]) == 0
+        assert "telemetry" not in json.loads(out_path.read_text())
+        capsys.readouterr()
+        assert main(["trace", str(out_path)]) == 2
+        assert "carries no telemetry" in capsys.readouterr().err
+
+    def test_telemetry_off_is_the_default_and_explicit_off_wins(
+        self, tiny_scenario_path, tmp_path, capsys
+    ):
+        out_path = tmp_path / "results.json"
+        rc = main(
+            ["run", str(tiny_scenario_path), "--telemetry", "off", "--out", str(out_path)]
+        )
+        assert rc == 0
+        assert json.loads(out_path.read_text())["scenario"]["telemetry"] is False
+
+
+class TestLedgerNotes:
+    def test_absent_wire_channel_is_noted(self, tiny_scenario_path, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert main(["run", str(tiny_scenario_path), "--out", str(out_path)]) == 0
+        capsys.readouterr()
+        # A serial run meters only the logical model channel; the report
+        # must say why 'wire' is missing rather than imply zero traffic.
+        assert main(["ledger", str(out_path)]) == 0
+        report = capsys.readouterr().out
+        assert "model" in report
+        assert "(channel 'wire' absent — recorded only by backend='distributed')" in report
+        assert "channel 'model' absent" not in report

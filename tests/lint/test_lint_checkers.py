@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 import pytest
@@ -124,16 +125,18 @@ class TestWireProtocol:
         assert "_shard" in findings[0].message
 
     def test_version_bump_requires_new_golden(self, tmp_path, protocol_text):
-        patched = protocol_text.replace(
-            "PROTOCOL_VERSION = 3", "PROTOCOL_VERSION = 99", 1
+        patched, hits = re.subn(
+            r"PROTOCOL_VERSION = \d+", "PROTOCOL_VERSION = 99", protocol_text, count=1
         )
+        assert hits == 1
         project = self._project_with(tmp_path, patched)
         assert rules_of(WireProtocolChecker().run(project)) == {"WIRE001"}
 
     def test_missing_version_constant_fails(self, tmp_path, protocol_text):
-        patched = protocol_text.replace(
-            "PROTOCOL_VERSION = 3", "PROTOCOL_VERSION = None", 1
+        patched, hits = re.subn(
+            r"PROTOCOL_VERSION = \d+", "PROTOCOL_VERSION = None", protocol_text, count=1
         )
+        assert hits == 1
         project = self._project_with(tmp_path, patched)
         assert rules_of(WireProtocolChecker().run(project)) == {"WIRE003"}
 

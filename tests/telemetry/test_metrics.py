@@ -1,0 +1,85 @@
+"""Tests for the metrics registry: instrument kinds and thread-safety."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments_and_defaults_to_one(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("rounds_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert counter.to_dict() == {"type": "counter", "value": 5}
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError, match="gauge"):
+            MetricsRegistry().counter("rounds_total").inc(-1)
+
+    def test_same_name_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+
+class TestGauge:
+    def test_keeps_last_written_value(self):
+        gauge = MetricsRegistry().gauge("cache_size")
+        assert gauge.value is None
+        gauge.set(3)
+        gauge.set(7)
+        assert gauge.to_dict() == {"type": "gauge", "value": 7}
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = MetricsRegistry().histogram("fold_busy_s")
+        for value in (2.0, 1.0, 4.0):
+            hist.observe(value)
+        assert hist.to_dict() == {
+            "type": "histogram",
+            "count": 3,
+            "total": 7.0,
+            "min": 1.0,
+            "max": 4.0,
+            "mean": 7.0 / 3,
+        }
+
+    def test_empty_histogram_has_no_mean(self):
+        hist = MetricsRegistry().histogram("fold_busy_s")
+        assert hist.mean is None
+        assert hist.to_dict()["count"] == 0
+
+    def test_concurrent_observations_all_land(self):
+        hist = MetricsRegistry().histogram("h")
+        threads = [
+            threading.Thread(target=lambda: [hist.observe(1.0) for _ in range(200)])
+            for _ in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert hist.count == 800
+        assert hist.total == 800.0
+
+
+class TestRegistry:
+    def test_kind_mismatch_is_a_type_error(self):
+        registry = MetricsRegistry()
+        registry.counter("rounds_total")
+        with pytest.raises(TypeError, match="rounds_total"):
+            registry.gauge("rounds_total")
+        with pytest.raises(TypeError, match="Counter"):
+            registry.histogram("rounds_total")
+
+    def test_to_dict_is_sorted_by_name(self):
+        registry = MetricsRegistry()
+        registry.gauge("zeta").set(1)
+        registry.counter("alpha").inc()
+        assert list(registry.to_dict()) == ["alpha", "zeta"]

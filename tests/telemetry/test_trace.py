@@ -1,0 +1,162 @@
+"""Tests for the span tracer: nesting, thread-safety, wire merging."""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.telemetry import RunTelemetry, Span, SpanTracer, maybe_span
+
+
+class TestSpan:
+    def test_duration_of_finished_span(self):
+        span = Span(span_id=1, name="round", start=1.0, end=3.5)
+        assert span.duration == 2.5
+
+    def test_open_span_has_zero_duration(self):
+        assert Span(span_id=1, name="round", start=1.0).duration == 0.0
+
+    def test_to_dict_shape(self):
+        span = Span(
+            span_id=2, name="client_train", start=0.5, end=0.75,
+            parent_id=1, attrs={"round": 0, "client": 3},
+        )
+        assert span.to_dict() == {
+            "id": 2,
+            "name": "client_train",
+            "start": 0.5,
+            "end": 0.75,
+            "parent": 1,
+            "attrs": {"round": 0, "client": 3},
+        }
+
+
+class TestSpanTracer:
+    def test_now_is_epoch_relative_and_monotonic(self):
+        tracer = SpanTracer()
+        first = tracer.now()
+        assert first >= 0.0
+        assert tracer.now() >= first
+
+    def test_nested_spans_record_parent_ids(self):
+        tracer = SpanTracer()
+        with tracer.span("round", round=0) as outer:
+            with tracer.span("client_train", round=0, client=1) as inner:
+                assert inner.parent_id == outer.span_id
+        spans = tracer.spans()
+        # Completion order: the inner span finishes (and is appended) first.
+        assert [s.name for s in spans] == ["client_train", "round"]
+        assert spans[0].parent_id == spans[1].span_id
+        assert spans[1].parent_id is None
+        assert all(s.end is not None and s.end >= s.start for s in spans)
+
+    def test_span_closes_on_exception(self):
+        tracer = SpanTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("round", round=0):
+                raise RuntimeError("boom")
+        (span,) = tracer.spans()
+        assert span.end is not None
+        # The stack unwound: a fresh span is a root again, not a child of
+        # the failed one.
+        with tracer.span("round", round=1):
+            pass
+        assert tracer.spans()[-1].parent_id is None
+
+    def test_nesting_is_per_thread(self):
+        tracer = SpanTracer()
+        worker_parent = []
+
+        def worker():
+            with tracer.span("client_train", client=7) as span:
+                worker_parent.append(span.parent_id)
+
+        with tracer.span("round", round=0):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The driver's open round span must not adopt pool-thread spans.
+        assert worker_parent == [None]
+
+    def test_concurrent_spans_all_recorded_with_unique_ids(self):
+        tracer = SpanTracer()
+
+        def worker(idx):
+            for _ in range(25):
+                with tracer.span("client_train", client=idx):
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        spans = tracer.spans()
+        assert len(spans) == 100
+        assert len({s.span_id for s in spans}) == 100
+
+    def test_add_span_records_external_timing_verbatim(self):
+        tracer = SpanTracer()
+        span = tracer.add_span(
+            "client_train", 1.25, 2.5, round=0, client=4, wire=True
+        )
+        assert span.start == 1.25 and span.end == 2.5
+        assert span.attrs == {"round": 0, "client": 4, "wire": True}
+        assert tracer.spans() == [span]
+
+    def test_to_dict_round_trips_through_json_types(self):
+        tracer = SpanTracer()
+        with tracer.span("round", round=0):
+            pass
+        (data,) = tracer.to_dict()
+        assert data["name"] == "round"
+        assert data["parent"] is None
+        assert isinstance(data["start"], float) and isinstance(data["end"], float)
+
+
+class TestMaybeSpan:
+    def test_none_telemetry_yields_noop_context(self):
+        ctx = maybe_span(None, "round", round=0)
+        assert isinstance(ctx, contextlib.nullcontext)
+
+    def test_live_telemetry_records_the_span(self):
+        telemetry = RunTelemetry()
+        with maybe_span(telemetry, "round", round=0):
+            pass
+        (span,) = telemetry.tracer.spans()
+        assert span.name == "round" and span.attrs == {"round": 0}
+
+
+class TestRunTelemetry:
+    def test_clock_offset_keeps_per_link_minimum(self):
+        telemetry = RunTelemetry()
+        telemetry.record_clock_offset("worker:10", 5.0)
+        telemetry.record_clock_offset("worker:10", 3.5)
+        telemetry.record_clock_offset("worker:10", 4.0)
+        telemetry.record_clock_offset("worker:11", -2.0)
+        assert telemetry.clock_offsets == {"worker:10": 3.5, "worker:11": -2.0}
+
+    def test_to_dict_carries_version_spans_metrics_offsets(self):
+        telemetry = RunTelemetry()
+        with telemetry.tracer.span("round", round=0):
+            telemetry.metrics.counter("rounds_total").inc()
+        telemetry.record_clock_offset("worker:9", 1.5)
+        data = telemetry.to_dict()
+        assert data["version"] == 1
+        assert [s["name"] for s in data["spans"]] == ["round"]
+        assert data["metrics"]["rounds_total"] == {"type": "counter", "value": 1}
+        assert data["clock_offsets"] == {"worker:9": 1.5}
+
+    def test_tracing_never_draws_rng(self):
+        # Telemetry must be out-of-band: recording spans and metrics cannot
+        # touch global RNG state (time.monotonic only).
+        import numpy as np
+
+        state_before = np.random.get_state()[1].tolist()
+        telemetry = RunTelemetry()
+        with telemetry.tracer.span("round", round=0):
+            telemetry.metrics.histogram("h").observe(time.monotonic())
+        assert np.random.get_state()[1].tolist() == state_before
